@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Ablation (§III-B3): NOCSTAR's sensitivity to the maximum hops
+ * traversed per cycle (HPCmax). At high clock frequencies or large
+ * dies, pipeline latches cap HPCmax; this sweep shows how much of the
+ * benefit survives.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+
+using namespace nocstar;
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t accesses = argc > 1
+        ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 5000;
+
+    std::printf("Ablation: NOCSTAR speedup vs private as HPCmax "
+                "varies (64 cores)\n");
+    bench::printHeader("workload",
+                       {"hpc1", "hpc2", "hpc4", "hpc8", "hpc16"});
+
+    const unsigned hpcs[] = {1, 2, 4, 8, 16};
+    std::vector<double> averages(5, 0.0);
+    for (const auto &spec : workload::paperWorkloads()) {
+        auto priv = bench::runOnce(
+            bench::makeConfig(core::OrgKind::Private, 64, spec),
+            accesses);
+        std::vector<double> row;
+        for (std::size_t i = 0; i < 5; ++i) {
+            auto config =
+                bench::makeConfig(core::OrgKind::Nocstar, 64, spec);
+            config.org.hpcMax = hpcs[i];
+            auto result = bench::runOnce(config, accesses);
+            double s = bench::speedupVsPrivate(priv, result);
+            row.push_back(s);
+            averages[i] += s / 11.0;
+        }
+        bench::printRow(spec.name, row);
+    }
+    bench::printRow("average", averages);
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Shared helpers for the figure/table regeneration harnesses: standard
+ * system configurations (paper Table II / §IV methodology) and simple
+ * fixed-width table printing.
+ */
+
+#ifndef NOCSTAR_BENCH_COMMON_HH
+#define NOCSTAR_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cpu/system.hh"
+#include "workload/spec.hh"
+
+namespace nocstar::bench
+{
+
+/** Default accesses per thread for full-system runs. */
+constexpr std::uint64_t defaultAccesses = 30000;
+
+/** Monolithic banking per the paper: 4 banks up to 32 cores, 8 at 64. */
+inline unsigned
+banksFor(unsigned cores)
+{
+    return cores >= 64 ? 8 : 4;
+}
+
+/**
+ * Baseline system configuration for one multithreaded workload running
+ * one thread per core, per the paper's single-workload experiments.
+ */
+inline cpu::SystemConfig
+makeConfig(core::OrgKind kind, unsigned cores,
+           const workload::WorkloadSpec &spec, bool superpages = true,
+           std::uint64_t seed = 12345)
+{
+    cpu::SystemConfig config;
+    config.org.kind = kind;
+    config.org.numCores = cores;
+    config.org.banks = banksFor(cores);
+    cpu::AppConfig app;
+    app.spec = spec;
+    app.threads = cores;
+    config.apps.push_back(std::move(app));
+    config.superpages = superpages;
+    config.seed = seed;
+    return config;
+}
+
+/** Run one configuration and return the result. */
+inline cpu::RunResult
+runOnce(const cpu::SystemConfig &config,
+        std::uint64_t accesses = defaultAccesses)
+{
+    cpu::System system(config);
+    return system.run(accesses);
+}
+
+/** Speedup of @p config against a private-L2-TLB baseline. */
+inline double
+speedupVsPrivate(const cpu::RunResult &baseline,
+                 const cpu::RunResult &other)
+{
+    return other.meanCycles > 0 ? baseline.meanCycles / other.meanCycles
+                                : 0.0;
+}
+
+/** Print a row of fixed-width cells. */
+inline void
+printRow(const std::string &label, const std::vector<double> &values,
+         const char *fmt = "%10.3f")
+{
+    std::printf("%-16s", label.c_str());
+    for (double v : values)
+        std::printf(fmt, v);
+    std::printf("\n");
+}
+
+inline void
+printHeader(const std::string &label,
+            const std::vector<std::string> &columns, int width = 10)
+{
+    std::printf("%-16s", label.c_str());
+    for (const std::string &c : columns)
+        std::printf("%*s", width, c.c_str());
+    std::printf("\n");
+}
+
+} // namespace nocstar::bench
+
+#endif // NOCSTAR_BENCH_COMMON_HH

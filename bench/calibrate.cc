@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Calibration harness (not a paper figure): prints, for each workload,
+ * the statistics the paper's text pins down -- L1 miss rate, private L2
+ * TLB miss rate (target 5-18 %), percent of private misses eliminated
+ * by sharing (target 70-90 %), walk latency, fraction of walks past the
+ * L2 (target 70-87 %), and speedups of the four organizations -- so the
+ * workload generator parameters can be tuned honestly.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+
+using namespace nocstar;
+
+int
+main(int argc, char **argv)
+{
+    unsigned cores = argc > 1
+        ? static_cast<unsigned>(std::atoi(argv[1])) : 32;
+    std::uint64_t accesses = argc > 2
+        ? static_cast<std::uint64_t>(std::atoll(argv[2]))
+        : bench::defaultAccesses;
+
+    std::printf("calibration @ %u cores, %llu accesses/thread\n", cores,
+                static_cast<unsigned long long>(accesses));
+    std::printf("%-16s %6s %6s %6s %6s %6s %6s | %6s %6s %6s %6s\n",
+                "workload", "l1m%", "l2m%", "elim%", "walk", ">L2%",
+                "ipcP", "mono", "dist", "nstar", "ideal");
+
+    for (const auto &spec : workload::paperWorkloads()) {
+        auto priv = bench::runOnce(
+            bench::makeConfig(core::OrgKind::Private, cores, spec),
+            accesses);
+        auto mono = bench::runOnce(
+            bench::makeConfig(core::OrgKind::MonolithicMesh, cores,
+                              spec),
+            accesses);
+        auto dist = bench::runOnce(
+            bench::makeConfig(core::OrgKind::Distributed, cores, spec),
+            accesses);
+        auto nstar = bench::runOnce(
+            bench::makeConfig(core::OrgKind::Nocstar, cores, spec),
+            accesses);
+        auto ideal = bench::runOnce(
+            bench::makeConfig(core::OrgKind::IdealShared, cores, spec),
+            accesses);
+
+        double l1m = priv.l1Accesses
+            ? 100.0 * static_cast<double>(priv.l1Misses) /
+                  static_cast<double>(priv.l1Accesses)
+            : 0.0;
+        double elim = priv.l2Misses
+            ? 100.0 * (1.0 - static_cast<double>(nstar.l2Misses) /
+                                 static_cast<double>(priv.l2Misses))
+            : 0.0;
+
+        std::printf(
+            "%-16s %6.2f %6.2f %6.1f %6.1f %6.1f %6.3f | %6.3f %6.3f "
+            "%6.3f %6.3f | lat %5.1f %5.1f %5.1f %5.1f %5.1f net %4.2f\n",
+            spec.name.c_str(), l1m, 100.0 * priv.l2MissRate, elim,
+            priv.avgWalkLatency, 100.0 * priv.beyondL2Fraction,
+            priv.ipc, bench::speedupVsPrivate(priv, mono),
+            bench::speedupVsPrivate(priv, dist),
+            bench::speedupVsPrivate(priv, nstar),
+            bench::speedupVsPrivate(priv, ideal),
+            priv.avgL2AccessLatency, mono.avgL2AccessLatency,
+            dist.avgL2AccessLatency, nstar.avgL2AccessLatency,
+            ideal.avgL2AccessLatency, nstar.fabricAvgLatency);
+    }
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fig 4: speedup of a monolithic multi-banked shared L2 TLB over
+ * private L2 TLBs on a 32-core system, as the shared TLB's total
+ * access latency varies from 25 cycles (realistic SRAM + interconnect)
+ * down to 9 cycles (unrealizable ideal matching the private arrays).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+
+using namespace nocstar;
+
+int
+main(int argc, char **argv)
+{
+    constexpr unsigned cores = 32;
+    std::uint64_t accesses = argc > 1
+        ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 6000;
+    const Cycle latencies[] = {25, 16, 11, 9};
+
+    std::printf("Fig 4: monolithic shared L2 TLB speedup vs private, "
+                "32 cores\n");
+    bench::printHeader("workload",
+                       {"25-cc", "16-cc", "11-cc", "9-cc"});
+
+    std::vector<double> averages(4, 0.0);
+    for (const auto &spec : workload::paperWorkloads()) {
+        auto priv = bench::runOnce(
+            bench::makeConfig(core::OrgKind::Private, cores, spec),
+            accesses);
+        std::vector<double> row;
+        for (std::size_t i = 0; i < 4; ++i) {
+            auto config = bench::makeConfig(
+                core::OrgKind::MonolithicMesh, cores, spec);
+            config.org.monolithicAccessOverride = latencies[i];
+            auto shared = bench::runOnce(config, accesses);
+            double speedup = bench::speedupVsPrivate(priv, shared);
+            row.push_back(speedup);
+            averages[i] += speedup / 11.0;
+        }
+        bench::printRow(spec.name, row);
+    }
+    bench::printRow("average", averages);
+    return 0;
+}

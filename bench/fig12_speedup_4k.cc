@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fig 12: speedups of the monolithic, distributed, NOCSTAR and ideal
+ * (zero-interconnect-latency) shared L2 TLBs over private L2 TLBs on
+ * a 16-core system using only 4 KB pages.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+
+using namespace nocstar;
+
+int
+main(int argc, char **argv)
+{
+    constexpr unsigned cores = 16;
+    std::uint64_t accesses = argc > 1
+        ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 12000;
+
+    std::printf("Fig 12: speedup vs private L2 TLBs, 16 cores, 4 KB "
+                "pages only\n");
+    bench::printHeader("workload",
+                       {"mono", "dist", "nocstar", "ideal"});
+
+    const core::OrgKind kinds[] = {
+        core::OrgKind::MonolithicMesh, core::OrgKind::Distributed,
+        core::OrgKind::Nocstar, core::OrgKind::IdealShared};
+
+    std::vector<double> averages(4, 0.0);
+    for (const auto &spec : workload::paperWorkloads()) {
+        auto priv = bench::runOnce(
+            bench::makeConfig(core::OrgKind::Private, cores, spec,
+                              /*superpages=*/false),
+            accesses);
+        std::vector<double> row;
+        for (std::size_t i = 0; i < 4; ++i) {
+            auto result = bench::runOnce(
+                bench::makeConfig(kinds[i], cores, spec,
+                                  /*superpages=*/false),
+                accesses);
+            double speedup = bench::speedupVsPrivate(priv, result);
+            row.push_back(speedup);
+            averages[i] += speedup / 11.0;
+        }
+        bench::printRow(spec.name, row);
+    }
+    bench::printRow("average", averages);
+    return 0;
+}

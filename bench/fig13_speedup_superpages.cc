@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fig 13: companion to Fig 12 with Linux-style transparent 2 MB
+ * superpages enabled (50-80 % of each workload's footprint is
+ * superpage-backed).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+
+using namespace nocstar;
+
+int
+main(int argc, char **argv)
+{
+    constexpr unsigned cores = 16;
+    std::uint64_t accesses = argc > 1
+        ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 12000;
+
+    std::printf("Fig 13: speedup vs private L2 TLBs, 16 cores, "
+                "transparent superpages\n");
+    bench::printHeader("workload",
+                       {"mono", "dist", "nocstar", "ideal"});
+
+    const core::OrgKind kinds[] = {
+        core::OrgKind::MonolithicMesh, core::OrgKind::Distributed,
+        core::OrgKind::Nocstar, core::OrgKind::IdealShared};
+
+    std::vector<double> averages(4, 0.0);
+    for (const auto &spec : workload::paperWorkloads()) {
+        auto priv = bench::runOnce(
+            bench::makeConfig(core::OrgKind::Private, cores, spec),
+            accesses);
+        std::vector<double> row;
+        for (std::size_t i = 0; i < 4; ++i) {
+            auto result = bench::runOnce(
+                bench::makeConfig(kinds[i], cores, spec), accesses);
+            double speedup = bench::speedupVsPrivate(priv, result);
+            row.push_back(speedup);
+            averages[i] += speedup / 11.0;
+        }
+        bench::printRow(spec.name, row);
+    }
+    bench::printRow("average", averages);
+    return 0;
+}

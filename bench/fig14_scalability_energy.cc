@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fig 14: (left) average / min / max speedups of the shared
+ * organizations versus private L2 TLBs for 16/32/64-core systems with
+ * transparent superpages; (right) percent of address-translation
+ * energy saved versus the private baseline.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+
+using namespace nocstar;
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t base_accesses = argc > 1
+        ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 10000;
+
+    const core::OrgKind kinds[] = {core::OrgKind::MonolithicMesh,
+                                   core::OrgKind::Distributed,
+                                   core::OrgKind::Nocstar};
+    const char *names[] = {"monolithic", "distributed", "nocstar"};
+
+    std::printf("Fig 14: scalability and translation energy savings\n");
+    std::printf("%8s %-12s %8s %8s %8s %14s\n", "cores", "org", "min",
+                "avg", "max", "energy saved%");
+
+    for (unsigned cores : {16u, 32u, 64u}) {
+        std::uint64_t accesses = base_accesses * 16 / cores + 2000;
+        // Private baselines per workload.
+        std::vector<cpu::RunResult> priv;
+        for (const auto &spec : workload::paperWorkloads())
+            priv.push_back(bench::runOnce(
+                bench::makeConfig(core::OrgKind::Private, cores, spec),
+                accesses));
+
+        for (std::size_t k = 0; k < 3; ++k) {
+            double min_speedup = 1e9, max_speedup = 0, avg_speedup = 0;
+            double avg_saved = 0;
+            for (std::size_t w = 0; w < priv.size(); ++w) {
+                auto result = bench::runOnce(
+                    bench::makeConfig(kinds[k], cores,
+                                      workload::paperWorkloads()[w]),
+                    accesses);
+                double speedup =
+                    bench::speedupVsPrivate(priv[w], result);
+                min_speedup = std::min(min_speedup, speedup);
+                max_speedup = std::max(max_speedup, speedup);
+                avg_speedup += speedup / 11.0;
+                avg_saved += 100.0 *
+                             (1.0 - result.energyPj /
+                                        priv[w].energyPj) /
+                             11.0;
+            }
+            std::printf("%8u %-12s %8.3f %8.3f %8.3f %14.1f\n", cores,
+                        names[k], min_speedup, avg_speedup,
+                        max_speedup, avg_saved);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fig 15: teasing apart slicing versus interconnect on a 32-core
+ * system. Speedups over private L2 TLBs for: monolithic over a
+ * multi-hop mesh, monolithic over SMART, distributed slices over a
+ * mesh, NOCSTAR, NOCSTAR with a contention-free fabric, and the ideal
+ * zero-interconnect-latency shared TLB.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+
+using namespace nocstar;
+
+int
+main(int argc, char **argv)
+{
+    constexpr unsigned cores = 32;
+    std::uint64_t accesses = argc > 1
+        ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 8000;
+
+    std::printf("Fig 15: speedup vs private L2 TLBs, 32 cores\n");
+    bench::printHeader("workload",
+                       {"monoMesh", "monoSMART", "dist", "nocstar",
+                        "nstarIdl", "ideal"});
+
+    const core::OrgKind kinds[] = {
+        core::OrgKind::MonolithicMesh, core::OrgKind::MonolithicSmart,
+        core::OrgKind::Distributed, core::OrgKind::Nocstar,
+        core::OrgKind::NocstarIdeal, core::OrgKind::IdealShared};
+
+    std::vector<double> averages(6, 0.0);
+    double avg_net_latency = 0;
+    for (const auto &spec : workload::paperWorkloads()) {
+        auto priv = bench::runOnce(
+            bench::makeConfig(core::OrgKind::Private, cores, spec),
+            accesses);
+        std::vector<double> row;
+        for (std::size_t i = 0; i < 6; ++i) {
+            auto result = bench::runOnce(
+                bench::makeConfig(kinds[i], cores, spec), accesses);
+            double speedup = bench::speedupVsPrivate(priv, result);
+            row.push_back(speedup);
+            averages[i] += speedup / 11.0;
+            if (kinds[i] == core::OrgKind::Nocstar)
+                avg_net_latency += result.fabricAvgLatency / 11.0;
+        }
+        bench::printRow(spec.name, row);
+    }
+    bench::printRow("average", averages);
+    std::printf("\nNOCSTAR average fabric latency: %.2f cycles "
+                "(paper: 1-3)\n",
+                avg_net_latency);
+    return 0;
+}

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Fig 18: multiprogrammed combinations of sequential workloads on a
+ * 32-core system. All C(11,4) = 330 combinations of four applications
+ * (8 threads each). Top: overall throughput speedup versus private L2
+ * TLBs, sorted per organization. Bottom: the speedup of the
+ * worst-performing application in each combination.
+ *
+ * Output prints the sorted curves at sampled percentiles plus the
+ * headline statistics the paper quotes (fraction of combinations
+ * degraded, worst case).
+ */
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.hh"
+
+using namespace nocstar;
+
+namespace
+{
+
+struct ComboResult
+{
+    double throughputSpeedup;
+    double minAppSpeedup;
+};
+
+ComboResult
+runCombo(const std::array<std::size_t, 4> &combo, core::OrgKind kind,
+         const cpu::RunResult &priv_result, std::uint64_t accesses)
+{
+    cpu::SystemConfig config;
+    config.org.kind = kind;
+    config.org.numCores = 32;
+    config.org.banks = bench::banksFor(32);
+    for (std::size_t w : combo) {
+        cpu::AppConfig app;
+        app.spec = workload::paperWorkloads()[w];
+        app.threads = 8;
+        config.apps.push_back(std::move(app));
+    }
+    config.seed = 9000 + combo[0] * 1331 + combo[1] * 121 +
+                  combo[2] * 11 + combo[3];
+    cpu::System system(config);
+    auto result = system.run(accesses);
+
+    ComboResult out;
+    out.throughputSpeedup = priv_result.meanCycles / result.meanCycles;
+    double min_ratio = 1e9;
+    for (std::size_t a = 0; a < 4; ++a) {
+        double ratio = result.appIpc[a] > 0
+            ? result.appIpc[a] / priv_result.appIpc[a]
+            : 0.0;
+        min_ratio = std::min(min_ratio, ratio);
+    }
+    out.minAppSpeedup = min_ratio;
+    return out;
+}
+
+void
+printCurve(const char *label, std::vector<double> values)
+{
+    std::sort(values.begin(), values.end());
+    std::printf("%-12s", label);
+    for (double pct : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+        auto idx = static_cast<std::size_t>(
+            pct * static_cast<double>(values.size() - 1));
+        std::printf("%9.3f", values[idx]);
+    }
+    double degraded = 0;
+    for (double v : values)
+        degraded += v < 1.0 ? 1 : 0;
+    std::printf("  degraded: %4.1f%%\n",
+                100.0 * degraded / static_cast<double>(values.size()));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t accesses = argc > 1
+        ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 2500;
+
+    // Enumerate all C(11,4) combinations.
+    std::vector<std::array<std::size_t, 4>> combos;
+    for (std::size_t a = 0; a < 11; ++a)
+        for (std::size_t b = a + 1; b < 11; ++b)
+            for (std::size_t c = b + 1; c < 11; ++c)
+                for (std::size_t d = c + 1; d < 11; ++d)
+                    combos.push_back({a, b, c, d});
+    std::printf("Fig 18: %zu multiprogrammed combinations, 32 cores\n",
+                combos.size());
+
+    const core::OrgKind kinds[] = {core::OrgKind::MonolithicMesh,
+                                   core::OrgKind::Distributed,
+                                   core::OrgKind::Nocstar};
+    const char *names[] = {"monolithic", "distributed", "nocstar"};
+
+    std::vector<std::vector<double>> throughput(3), min_app(3);
+    for (const auto &combo : combos) {
+        // Private baseline for this combination.
+        cpu::SystemConfig priv_config;
+        priv_config.org.kind = core::OrgKind::Private;
+        priv_config.org.numCores = 32;
+        for (std::size_t w : combo) {
+            cpu::AppConfig app;
+            app.spec = workload::paperWorkloads()[w];
+            app.threads = 8;
+            priv_config.apps.push_back(std::move(app));
+        }
+        priv_config.seed = 9000 + combo[0] * 1331 + combo[1] * 121 +
+                           combo[2] * 11 + combo[3];
+        cpu::System priv_system(priv_config);
+        auto priv_result = priv_system.run(accesses);
+
+        for (std::size_t k = 0; k < 3; ++k) {
+            ComboResult r = runCombo(combo, kinds[k], priv_result,
+                                     accesses);
+            throughput[k].push_back(r.throughputSpeedup);
+            min_app[k].push_back(r.minAppSpeedup);
+        }
+    }
+
+    std::printf("\nOverall throughput speedup (sorted percentiles)\n");
+    std::printf("%-12s%9s%9s%9s%9s%9s%9s%9s\n", "org", "min", "p10",
+                "p25", "p50", "p75", "p90", "max");
+    for (std::size_t k = 0; k < 3; ++k)
+        printCurve(names[k], throughput[k]);
+
+    std::printf("\nMinimum achieved per-app speedup (sorted "
+                "percentiles)\n");
+    std::printf("%-12s%9s%9s%9s%9s%9s%9s%9s\n", "org", "min", "p10",
+                "p25", "p50", "p75", "p90", "max");
+    for (std::size_t k = 0; k < 3; ++k)
+        printCurve(names[k], min_app[k]);
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Fig 19 + §V pathological workloads. First section: the TLB-storm
+ * microbenchmark (aggressive context switches flushing every TLB plus
+ * a promote/demote remap loop firing shootdown storms) run
+ * concurrently with the workloads; average speedups vs private for
+ * monolithic / distributed / NOCSTAR at 16/32/64 cores, alone and
+ * with the microbenchmark. Second section: the slice-hotspot
+ * microbenchmark where every thread directs a share of its accesses
+ * at one slice.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+
+using namespace nocstar;
+
+namespace
+{
+
+double
+averageSpeedup(core::OrgKind kind, unsigned cores,
+               std::uint64_t accesses, bool with_storm,
+               int hotspot_slice = -1)
+{
+    double avg = 0;
+    for (const auto &spec : workload::paperWorkloads()) {
+        auto make = [&](core::OrgKind k) {
+            auto config = bench::makeConfig(k, cores, spec);
+            if (with_storm) {
+                config.contextSwitchInterval = 50000; // ~0.5ms-scale
+                config.stormRemapInterval = 5000;
+                config.stormMessagesPerOp = 8;
+            }
+            config.hotspotSlice = hotspot_slice;
+            return config;
+        };
+        auto priv = bench::runOnce(make(core::OrgKind::Private),
+                                   accesses);
+        auto shared = bench::runOnce(make(kind), accesses);
+        avg += bench::speedupVsPrivate(priv, shared) / 11.0;
+    }
+    return avg;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t base_accesses = argc > 1
+        ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 6000;
+
+    const core::OrgKind kinds[] = {core::OrgKind::MonolithicMesh,
+                                   core::OrgKind::Distributed,
+                                   core::OrgKind::Nocstar};
+    const char *names[] = {"monolithic", "distributed", "nocstar"};
+
+    std::printf("Fig 19: TLB storm microbenchmark, average speedup vs "
+                "private\n");
+    std::printf("%8s %-12s %10s %10s\n", "cores", "org", "alone",
+                "w/ub");
+    for (unsigned cores : {16u, 32u, 64u}) {
+        std::uint64_t accesses = base_accesses * 16 / cores + 2000;
+        for (std::size_t k = 0; k < 3; ++k) {
+            double alone = averageSpeedup(kinds[k], cores, accesses,
+                                          false);
+            double with_ub = averageSpeedup(kinds[k], cores, accesses,
+                                            true);
+            std::printf("%8u %-12s %10.3f %10.3f\n", cores, names[k],
+                        alone, with_ub);
+        }
+    }
+
+    std::printf("\nSlice-hotspot microbenchmark (30%% of accesses "
+                "directed at slice 0), 32 cores\n");
+    std::printf("%-12s %10s\n", "org", "speedup");
+    std::uint64_t accesses = base_accesses / 2 + 2000;
+    for (std::size_t k = 0; k < 3; ++k) {
+        double speedup = averageSpeedup(kinds[k], 32, accesses, false,
+                                        /*hotspot_slice=*/0);
+        std::printf("%-12s %10.3f\n", names[k], speedup);
+    }
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Table III: sensitivity of the 32-core speedups to TLB prefetching
+ * (+-1, +-1..2, +-1..3 pages), hyperthreading (2 and 4 threads per
+ * core) and page-table-walk latency (variable vs fixed 10/20/40/80
+ * cycles). Min / avg / max speedups across workloads for monolithic,
+ * distributed and NOCSTAR versus private L2 TLBs with the same
+ * feature set.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+
+#include "bench/bench_common.hh"
+
+using namespace nocstar;
+
+namespace
+{
+
+struct Row
+{
+    const char *pref;
+    const char *smt;
+    const char *ptw;
+    std::function<void(cpu::SystemConfig &)> tweak;
+};
+
+void
+runRow(const Row &row, std::uint64_t accesses)
+{
+    const core::OrgKind kinds[] = {core::OrgKind::MonolithicMesh,
+                                   core::OrgKind::Distributed,
+                                   core::OrgKind::Nocstar};
+    const char *names[] = {"monolithic", "distributed", "nocstar"};
+
+    double min_s[3] = {1e9, 1e9, 1e9};
+    double avg_s[3] = {0, 0, 0};
+    double max_s[3] = {0, 0, 0};
+
+    for (const auto &spec : workload::paperWorkloads()) {
+        auto make = [&](core::OrgKind kind) {
+            auto config = bench::makeConfig(kind, 32, spec);
+            if (row.tweak)
+                row.tweak(config);
+            return config;
+        };
+        auto priv = bench::runOnce(make(core::OrgKind::Private),
+                                   accesses);
+        for (int k = 0; k < 3; ++k) {
+            auto result = bench::runOnce(make(kinds[k]), accesses);
+            double s = bench::speedupVsPrivate(priv, result);
+            min_s[k] = std::min(min_s[k], s);
+            max_s[k] = std::max(max_s[k], s);
+            avg_s[k] += s / 11.0;
+        }
+    }
+    for (int k = 0; k < 3; ++k) {
+        std::printf("%-6s %-4s %-10s %-12s %7.2f %7.2f %7.2f\n",
+                    row.pref, row.smt, row.ptw, names[k], min_s[k],
+                    avg_s[k], max_s[k]);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t accesses = argc > 1
+        ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 3000;
+
+    std::printf("Table III: 32-core sensitivity (speedups vs private "
+                "with the same features)\n");
+    std::printf("%-6s %-4s %-10s %-12s %7s %7s %7s\n", "pref", "smt",
+                "ptw", "org", "min", "avg", "max");
+
+    std::vector<Row> rows;
+    rows.push_back({"no", "1", "variable", nullptr});
+    for (unsigned d : {1u, 2u, 3u}) {
+        static const char *labels[] = {"", "+-1", "+-1,2", "+-1..3"};
+        rows.push_back({labels[d], "1", "variable",
+                        [d](cpu::SystemConfig &config) {
+                            config.org.prefetchDistance = d;
+                        }});
+    }
+    for (unsigned smt : {2u, 4u}) {
+        static const char *labels[] = {"", "", "2", "", "4"};
+        rows.push_back({"no", labels[smt], "variable",
+                        [smt](cpu::SystemConfig &config) {
+                            config.smtPerCore = smt;
+                            config.apps[0].threads =
+                                config.org.numCores * smt;
+                        }});
+    }
+    for (Cycle fixed : {10u, 20u, 40u, 80u}) {
+        static char label[4][24];
+        static int idx = 0;
+        std::snprintf(label[idx], sizeof(label[idx]), "fixed-%llu",
+                      static_cast<unsigned long long>(fixed));
+        rows.push_back({"no", "1", label[idx],
+                        [fixed](cpu::SystemConfig &config) {
+                            config.walker.fixedLatency = fixed;
+                        }});
+        ++idx;
+    }
+
+    for (const Row &row : rows)
+        runRow(row, accesses);
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Architecture design study: evaluate all last-level TLB organizations
+ * on one workload across core counts, printing the paper's key
+ * metrics side by side -- the kind of sweep an architect would run
+ * before committing to a TLB organization.
+ *
+ *   ./examples/design_space_study [workload] [accesses-per-thread]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "cpu/system.hh"
+
+using namespace nocstar;
+
+namespace
+{
+
+cpu::RunResult
+run(core::OrgKind kind, unsigned cores,
+    const workload::WorkloadSpec &spec, std::uint64_t accesses)
+{
+    cpu::SystemConfig config;
+    config.org.kind = kind;
+    config.org.numCores = cores;
+    config.org.banks = cores >= 64 ? 8 : 4;
+    {
+        cpu::AppConfig app_config;
+        app_config.spec = spec;
+        app_config.threads = cores;
+        config.apps.push_back(std::move(app_config));
+    }
+    config.seed = 21;
+    cpu::System system(config);
+    return system.run(accesses);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "xsbench";
+    std::uint64_t base_accesses = argc > 2
+        ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 10000;
+    const workload::WorkloadSpec &spec = workload::findWorkload(name);
+
+    const core::OrgKind kinds[] = {
+        core::OrgKind::Private, core::OrgKind::MonolithicMesh,
+        core::OrgKind::MonolithicSmart, core::OrgKind::Distributed,
+        core::OrgKind::Nocstar, core::OrgKind::NocstarIdeal,
+        core::OrgKind::IdealShared};
+
+    std::printf("Design study: workload %s\n\n", spec.name.c_str());
+    for (unsigned cores : {16u, 32u, 64u}) {
+        std::uint64_t accesses = base_accesses * 16 / cores + 2000;
+        std::printf("--- %u cores ---\n", cores);
+        std::printf("%-18s %9s %9s %9s %10s %10s\n", "organization",
+                    "speedup", "l2miss%", "lat(cyc)", "walks",
+                    "energy(uJ)");
+        cpu::RunResult baseline;
+        for (core::OrgKind kind : kinds) {
+            cpu::RunResult result = run(kind, cores, spec, accesses);
+            if (kind == core::OrgKind::Private)
+                baseline = result;
+            std::printf("%-18s %9.3f %9.2f %9.1f %10llu %10.2f\n",
+                        core::orgKindName(kind),
+                        baseline.meanCycles / result.meanCycles,
+                        100.0 * result.l2MissRate,
+                        result.avgL2AccessLatency,
+                        static_cast<unsigned long long>(result.walks),
+                        result.energyPj * 1e-6);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * General-purpose simulation driver: every organization and policy
+ * knob behind command-line flags, for design exploration without
+ * writing code.
+ *
+ *   ./examples/simulate --org=nocstar --cores=32 --workload=gups \
+ *       --accesses=20000 --smt=2 --prefetch=2 --ptw=remote \
+ *       --no-superpages --capture=trace.txt --stats
+ *
+ * Run with --help for the full flag list.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "cpu/system.hh"
+
+using namespace nocstar;
+
+namespace
+{
+
+[[noreturn]] void
+usage()
+{
+    std::printf(
+        "usage: simulate [flags]\n"
+        "  --org=KIND        private | monolithic | monolithic-smart |\n"
+        "                    distributed | ideal | nocstar |\n"
+        "                    nocstar-ideal (default nocstar)\n"
+        "  --cores=N         core count (default 16)\n"
+        "  --workload=NAME   one of the 11 paper workloads "
+        "(default graph500)\n"
+        "  --accesses=N      accesses per thread (default 20000)\n"
+        "  --threads=N       app threads (default = cores)\n"
+        "  --smt=N           SMT slots per core (default 1)\n"
+        "  --prefetch=N      TLB prefetch distance 0..3 (default 0)\n"
+        "  --ptw=WHERE       requester | remote (default requester)\n"
+        "  --acquire=MODE    oneway | roundtrip (default oneway)\n"
+        "  --hpcmax=N        fabric hops per cycle (default 16)\n"
+        "  --leaders=N       invalidation leader group (default 0)\n"
+        "  --fixed-ptw=N     fixed walk latency in cycles (default "
+        "variable)\n"
+        "  --seed=N          random seed (default 1)\n"
+        "  --no-superpages   4 KB pages only\n"
+        "  --storm           enable the TLB-storm microbenchmark\n"
+        "  --hotspot=SLICE   warp all traffic onto one slice\n"
+        "  --trace=FILE      replay a captured trace\n"
+        "  --capture=FILE    capture the address trace to FILE\n"
+        "  --stats           dump the full statistics tree\n");
+    std::exit(2);
+}
+
+core::OrgKind
+parseOrg(const std::string &name)
+{
+    if (name == "private")
+        return core::OrgKind::Private;
+    if (name == "monolithic")
+        return core::OrgKind::MonolithicMesh;
+    if (name == "monolithic-smart")
+        return core::OrgKind::MonolithicSmart;
+    if (name == "distributed")
+        return core::OrgKind::Distributed;
+    if (name == "ideal")
+        return core::OrgKind::IdealShared;
+    if (name == "nocstar")
+        return core::OrgKind::Nocstar;
+    if (name == "nocstar-ideal")
+        return core::OrgKind::NocstarIdeal;
+    std::fprintf(stderr, "unknown organization '%s'\n", name.c_str());
+    usage();
+}
+
+bool
+flagValue(const char *arg, const char *name, std::string &out)
+{
+    std::size_t len = std::strlen(name);
+    if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+        out = arg + len + 1;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    cpu::SystemConfig config;
+    config.org.kind = core::OrgKind::Nocstar;
+    config.org.numCores = 16;
+    std::string workload_name = "graph500";
+    std::string trace_file;
+    std::uint64_t accesses = 20000;
+    unsigned threads = 0;
+    bool dump_stats = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string value;
+        const char *arg = argv[i];
+        if (flagValue(arg, "--org", value))
+            config.org.kind = parseOrg(value);
+        else if (flagValue(arg, "--cores", value))
+            config.org.numCores =
+                static_cast<unsigned>(std::stoul(value));
+        else if (flagValue(arg, "--workload", value))
+            workload_name = value;
+        else if (flagValue(arg, "--accesses", value))
+            accesses = std::stoull(value);
+        else if (flagValue(arg, "--threads", value))
+            threads = static_cast<unsigned>(std::stoul(value));
+        else if (flagValue(arg, "--smt", value))
+            config.smtPerCore =
+                static_cast<unsigned>(std::stoul(value));
+        else if (flagValue(arg, "--prefetch", value))
+            config.org.prefetchDistance =
+                static_cast<unsigned>(std::stoul(value));
+        else if (flagValue(arg, "--ptw", value))
+            config.org.ptwPlacement = value == "remote"
+                ? core::PtwPlacement::Remote
+                : core::PtwPlacement::Requester;
+        else if (flagValue(arg, "--acquire", value))
+            config.org.pathAcquire = value == "roundtrip"
+                ? core::PathAcquire::RoundTrip
+                : core::PathAcquire::OneWay;
+        else if (flagValue(arg, "--hpcmax", value))
+            config.org.hpcMax =
+                static_cast<unsigned>(std::stoul(value));
+        else if (flagValue(arg, "--leaders", value))
+            config.org.invalLeaderGroup =
+                static_cast<unsigned>(std::stoul(value));
+        else if (flagValue(arg, "--fixed-ptw", value))
+            config.walker.fixedLatency = std::stoull(value);
+        else if (flagValue(arg, "--seed", value))
+            config.seed = std::stoull(value);
+        else if (flagValue(arg, "--hotspot", value))
+            config.hotspotSlice = std::stoi(value);
+        else if (flagValue(arg, "--trace", value))
+            trace_file = value;
+        else if (flagValue(arg, "--capture", value))
+            config.captureTracePath = value;
+        else if (std::strcmp(arg, "--no-superpages") == 0)
+            config.superpages = false;
+        else if (std::strcmp(arg, "--storm") == 0) {
+            config.contextSwitchInterval = 50000;
+            config.stormRemapInterval = 5000;
+        } else if (std::strcmp(arg, "--stats") == 0)
+            dump_stats = true;
+        else
+            usage();
+    }
+
+    config.org.banks = config.org.numCores >= 64 ? 8 : 4;
+    cpu::AppConfig app{workload::findWorkload(workload_name),
+                       threads ? threads : config.org.numCores};
+    app.traceFile = trace_file;
+    config.apps.push_back(app);
+
+    cpu::System system(config);
+    cpu::RunResult result = system.run(accesses);
+
+    std::printf("org                 : %s\n",
+                core::orgKindName(config.org.kind));
+    std::printf("cores / threads     : %u / %u\n", config.org.numCores,
+                config.apps[0].threads * config.smtPerCore);
+    std::printf("cycles (max / mean) : %llu / %.0f\n",
+                static_cast<unsigned long long>(result.cycles),
+                result.meanCycles);
+    std::printf("chip IPC            : %.3f\n", result.ipc);
+    std::printf("L1 miss rate        : %.2f %%\n",
+                100.0 * static_cast<double>(result.l1Misses) /
+                    static_cast<double>(result.l1Accesses));
+    std::printf("L2 miss rate        : %.2f %%\n",
+                100.0 * result.l2MissRate);
+    std::printf("avg L2 latency      : %.1f cycles\n",
+                result.avgL2AccessLatency);
+    std::printf("page walks          : %llu (avg %.1f cycles)\n",
+                static_cast<unsigned long long>(result.walks),
+                result.avgWalkLatency);
+    std::printf("translation energy  : %.2f uJ\n",
+                result.energyPj * 1e-6);
+    if (result.fabricAvgLatency > 0)
+        std::printf("fabric latency      : %.2f cycles (%.0f %% "
+                    "contention-free)\n",
+                    result.fabricAvgLatency,
+                    100.0 * result.fabricNoContention);
+    if (result.shootdowns)
+        std::printf("shootdowns          : %llu (avg %.1f cycles)\n",
+                    static_cast<unsigned long long>(result.shootdowns),
+                    result.avgShootdownLatency);
+
+    if (dump_stats) {
+        std::printf("\n--- statistics ---\n");
+        system.dumpAll(std::cout);
+    }
+    return 0;
+}

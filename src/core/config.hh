@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Configuration types for last-level TLB organizations (paper Table II)
+ * and the policy knobs the evaluation sweeps.
+ */
+
+#ifndef NOCSTAR_CORE_CONFIG_HH
+#define NOCSTAR_CORE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace nocstar::core
+{
+
+/** The last-level TLB organizations of Fig 1 / Table II. */
+enum class OrgKind
+{
+    Private, ///< per-core private L2 TLBs (baseline)
+    MonolithicMesh, ///< banked monolithic shared L2 TLB over a mesh
+    MonolithicSmart, ///< banked monolithic shared L2 TLB over SMART
+    Distributed, ///< per-core slices over a multi-hop mesh
+    IdealShared, ///< per-core slices with a zero-latency interconnect
+    Nocstar, ///< per-core slices over the NOCSTAR fabric
+    NocstarIdeal, ///< NOCSTAR with contention-free path setup
+};
+
+/** Where the page-table walk runs after a shared-slice miss (§III-F). */
+enum class PtwPlacement
+{
+    Requester, ///< miss message returns; requesting core walks
+    Remote, ///< the slice's core walks, then responds with the PTE
+};
+
+/** Link acquisition modes for the NOCSTAR fabric (§V, Fig 16 left). */
+enum class PathAcquire
+{
+    OneWay, ///< request and response each arbitrate separately
+    RoundTrip, ///< both directions held for the whole slice access
+};
+
+/** @return a short printable name for an organization. */
+const char *orgKindName(OrgKind kind);
+
+/** @return true for the organizations with per-core shared slices. */
+bool isSliced(OrgKind kind);
+
+/** @return true for any shared (non-private) organization. */
+bool isShared(OrgKind kind);
+
+/** Full organization configuration. */
+struct OrgConfig
+{
+    OrgKind kind = OrgKind::Private;
+    unsigned numCores = 16;
+
+    /** Private / distributed slice capacity (Table II: 1024, 8-way). */
+    std::uint32_t l2Entries = 1024;
+    std::uint32_t l2Assoc = 8;
+    /** Area-normalized NOCSTAR slice capacity (Table II: 920). */
+    std::uint32_t nocstarSliceEntries = 920;
+
+    /** Monolithic banking (paper: 4 banks at 16/32 cores, 8 at 64). */
+    unsigned banks = 4;
+
+    /** NOCSTAR / SMART maximum hops traversed per cycle. */
+    unsigned hpcMax = 16;
+    /** NOCSTAR arbitration priority rotation period (§III-B2). */
+    Cycle priorityEpoch = 1000;
+    PathAcquire pathAcquire = PathAcquire::OneWay;
+
+    PtwPlacement ptwPlacement = PtwPlacement::Requester;
+
+    /** Sequential prefetch distance after L2 misses (0 disables). */
+    unsigned prefetchDistance = 0;
+
+    /**
+     * Fig 4 mode: if nonzero, the monolithic organization's entire
+     * access (network + SRAM) is modelled as this fixed latency.
+     */
+    Cycle monolithicAccessOverride = 0;
+
+    /**
+     * Shootdown relay policy: 0 sends invalidations directly from each
+     * core to the slice; g >= 1 relays through one leader per g cores.
+     */
+    unsigned invalLeaderGroup = 0;
+
+    /** New lookups a slice / bank can start per cycle (read ports). */
+    unsigned readPortsPerCycle = 2;
+
+    /** Extra cycle between L1 miss detection and L2/path initiation. */
+    Cycle initiateLatency = 1;
+
+    /** Slice capacity actually used by this organization. */
+    std::uint32_t
+    sliceEntriesFor() const
+    {
+        switch (kind) {
+          case OrgKind::Nocstar:
+          case OrgKind::NocstarIdeal:
+            return nocstarSliceEntries;
+          default:
+            return l2Entries;
+        }
+    }
+};
+
+} // namespace nocstar::core
+
+#endif // NOCSTAR_CORE_CONFIG_HH

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * NOCSTAR fabric implementation.
+ *
+ * Timing convention: a send() posted in cycle T arbitrates in T (the
+ * "path setup" cycle); granted data occupies its links during cycles
+ * (T, T+traversal] and is latched at the destination at T+traversal.
+ * Reported network latency counts the setup cycle plus traversal and
+ * any waiting, so an uncontended single-hop message costs 2 cycles,
+ * matching §V ("1 cycle in path setup and another cycle to traverse").
+ *
+ * Each tile owns a single set of path-setup request wires, so at most
+ * one request per source arbitrates per cycle; younger requests from
+ * the same tile queue behind it. This keeps a saturated fabric's
+ * arbitration cost bounded by the tile count per cycle.
+ */
+
+#include "core/fabric.hh"
+
+#include <algorithm>
+
+namespace nocstar::core
+{
+
+NocstarFabric::NocstarFabric(const std::string &name, EventQueue &queue,
+                             const noc::GridTopology &topo,
+                             const FabricConfig &config,
+                             stats::StatGroup *parent)
+    : stats::StatGroup(name, parent),
+      messagesSent(this, "messages", "messages delivered"),
+      setupAttempts(this, "setup_attempts", "path setup attempts"),
+      setupFailures(this, "setup_failures", "failed setup attempts"),
+      zeroRetryMessages(this, "zero_retry_messages",
+                        "messages with no contention delay"),
+      totalNetworkLatency(this, "network_latency",
+                          "total setup+traversal+wait cycles"),
+      retryDistribution(this, "retries", "setup retries per message",
+                        0, 64, 1),
+      queue_(queue), topo_(topo), config_(config),
+      linkHeldUntil_(topo.linkIndexSpace(), 0),
+      pending_(topo.numTiles()),
+      arbitrationEvent_([this] { arbitrate(); },
+                        Event::arbitrationPriority)
+{
+    if (config_.hpcMax == 0)
+        fatal("NOCSTAR fabric needs hpcMax >= 1");
+}
+
+NocstarFabric::~NocstarFabric()
+{
+    if (arbitrationEvent_.scheduled())
+        queue_.deschedule(&arbitrationEvent_);
+}
+
+void
+NocstarFabric::scheduleArbitration(Cycle when)
+{
+    if (arbitrationEvent_.scheduled()) {
+        if (arbitrationScheduledFor_ <= when)
+            return;
+        queue_.deschedule(&arbitrationEvent_);
+    }
+    queue_.schedule(&arbitrationEvent_, when);
+    arbitrationScheduledFor_ = when;
+}
+
+void
+NocstarFabric::send(CoreId src, CoreId dst, Cycle now, DeliverFn deliver)
+{
+    if (src == dst) {
+        deliver(now);
+        return;
+    }
+    Cycle active = std::max(now, queue_.curCycle());
+    pending_.at(src).push_back(Request{src, dst, active, active, 0,
+                                       false, 0, nextSeq_++,
+                                       std::move(deliver)});
+    ++numPending_;
+    scheduleArbitration(active);
+}
+
+void
+NocstarFabric::sendRoundTrip(CoreId src, CoreId dst, Cycle now,
+                             Cycle occupancy, DeliverFn deliver)
+{
+    if (src == dst) {
+        deliver(now);
+        return;
+    }
+    Cycle active = std::max(now, queue_.curCycle());
+    pending_.at(src).push_back(Request{src, dst, active, active,
+                                       occupancy, true, 0, nextSeq_++,
+                                       std::move(deliver)});
+    ++numPending_;
+    scheduleArbitration(active);
+}
+
+bool
+NocstarFabric::tryAcquire(const Request &req, Cycle now)
+{
+    auto path = topo_.xyPath(req.src, req.dst);
+    Cycle traversal = traversalCycles(static_cast<unsigned>(path.size()));
+    // Round trip additionally holds the reverse path through the slice
+    // access and the response traversal.
+    Cycle hold = req.roundTrip ? 2 * traversal + req.holdExtra : traversal;
+
+    std::vector<noc::LinkId> reverse;
+    if (req.roundTrip)
+        reverse = topo_.xyPath(req.dst, req.src);
+
+    if (!config_.ideal) {
+        for (const noc::LinkId &link : path) {
+            if (linkHeldUntil_[link.flatten()] > now)
+                return false;
+        }
+        for (const noc::LinkId &link : reverse) {
+            if (linkHeldUntil_[link.flatten()] > now)
+                return false;
+        }
+    }
+
+    for (const noc::LinkId &link : path)
+        linkHeldUntil_[link.flatten()] =
+            std::max(linkHeldUntil_[link.flatten()], now + hold);
+    for (const noc::LinkId &link : reverse)
+        linkHeldUntil_[link.flatten()] =
+            std::max(linkHeldUntil_[link.flatten()], now + hold);
+    return true;
+}
+
+void
+NocstarFabric::arbitrate()
+{
+    Cycle now = queue_.curCycle();
+    arbitrationScheduledFor_ = invalidCycle;
+
+    // Chip-wide consistent static priority, rotated every epoch so no
+    // requester starves (§III-B2).
+    unsigned tiles = topo_.numTiles();
+    unsigned rotation = static_cast<unsigned>(
+        (now / config_.priorityEpoch) % tiles);
+
+    // One eligible request per source: the oldest whose turn has come.
+    std::vector<CoreId> contenders;
+    contenders.reserve(tiles);
+    for (CoreId src = 0; src < tiles; ++src) {
+        if (!pending_[src].empty() &&
+            pending_[src].front().activeAt <= now)
+            contenders.push_back(src);
+    }
+    std::sort(contenders.begin(), contenders.end(),
+              [&](CoreId a, CoreId b) {
+                  return (a + tiles - rotation) % tiles <
+                         (b + tiles - rotation) % tiles;
+              });
+
+    for (CoreId src : contenders) {
+        Request &req = pending_[src].front();
+        ++setupAttempts;
+        if (!tryAcquire(req, now)) {
+            ++setupFailures;
+            ++req.retries;
+            req.activeAt = now + 1;
+            continue;
+        }
+
+        auto path_hops = topo_.hops(req.src, req.dst);
+        Cycle traversal = traversalCycles(path_hops);
+        Cycle arrival = now + traversal;
+
+        ++messagesSent;
+        if (now == req.posted)
+            ++zeroRetryMessages;
+        retryDistribution.sample(static_cast<double>(req.retries));
+        // Latency counts waiting (port queueing + retries) + the
+        // setup cycle + traversal.
+        totalNetworkLatency += static_cast<double>(
+            (now - req.posted) + 1 + traversal);
+
+        DeliverFn deliver = std::move(req.deliver);
+        queue_.scheduleLambda(arrival,
+                              [deliver = std::move(deliver), arrival] {
+                                  deliver(arrival);
+                              });
+
+        pending_[src].pop_front();
+        --numPending_;
+        // The setup port frees next cycle for the next queued request.
+        if (!pending_[src].empty())
+            pending_[src].front().activeAt = std::max(
+                pending_[src].front().activeAt, now + 1);
+    }
+
+    if (numPending_ > 0) {
+        Cycle next = invalidCycle;
+        for (CoreId src = 0; src < tiles; ++src) {
+            if (!pending_[src].empty())
+                next = std::min(next, pending_[src].front().activeAt);
+        }
+        scheduleArbitration(std::max(next, now + 1));
+    }
+}
+
+} // namespace nocstar::core

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The NOCSTAR interconnect (paper §III-B): a latchless, circuit-switched
+ * side-band network giving near single-cycle traversal between any
+ * L1 TLB and any L2 TLB slice.
+ *
+ * Control path, modelled cycle-accurately:
+ *  - a requester posts path-setup requests to the arbiter of *every*
+ *    link on its XY path in the same cycle;
+ *  - each link arbiter grants at most one requester per cycle;
+ *  - a requester proceeds only if ALL its links granted ("the grants
+ *    are ANDed"); otherwise it retries next cycle, guaranteeing no
+ *    partially-held paths and hence no deadlock;
+ *  - arbiters share a static priority order that rotates round-robin
+ *    every priorityEpoch cycles (default 1000) to prevent starvation.
+ *    Because the order is chip-wide consistent, the highest-priority
+ *    contender always acquires its full path: livelock-free.
+ *
+ * Datapath: granted messages traverse muxes without latching, covering
+ * up to HPCmax hops per cycle; longer paths take ceil(hops / HPCmax)
+ * cycles through pipeline latches (§III-B3).
+ */
+
+#ifndef NOCSTAR_CORE_FABRIC_HH
+#define NOCSTAR_CORE_FABRIC_HH
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "noc/topology.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace nocstar::core
+{
+
+/** Fabric tuning knobs. */
+struct FabricConfig
+{
+    unsigned hpcMax = 16;
+    Cycle priorityEpoch = 1000;
+    /** Contention-free mode: every setup succeeds (NOCSTAR-ideal). */
+    bool ideal = false;
+};
+
+/**
+ * Event-driven NOCSTAR fabric.
+ */
+class NocstarFabric : public stats::StatGroup
+{
+  public:
+    /** Invoked when the message is latched at the destination tile. */
+    using DeliverFn = std::function<void(Cycle arrival)>;
+
+    NocstarFabric(const std::string &name, EventQueue &queue,
+                  const noc::GridTopology &topo,
+                  const FabricConfig &config,
+                  stats::StatGroup *parent = nullptr);
+
+    ~NocstarFabric() override;
+
+    /**
+     * One-way message: arbitration begins at max(now, curCycle); on
+     * success the message arrives ceil(hops/HPCmax) cycles after its
+     * setup cycle. Local (src == dst) messages deliver immediately.
+     *
+     * Each source tile has a single path-setup port (one set of
+     * request wires to the arbiters), so its outstanding messages
+     * arbitrate oldest-first, one per cycle.
+     */
+    void send(CoreId src, CoreId dst, Cycle now, DeliverFn deliver);
+
+    /**
+     * Round-trip acquisition (Fig 16 left): the forward *and* reverse
+     * paths are held from the setup cycle until the response has
+     * returned, @p occupancy cycles after the request arrives at the
+     * destination. @p deliver fires at the destination arrival; the
+     * caller schedules the response completion itself (the return path
+     * is pre-granted, adding one traversal).
+     */
+    void sendRoundTrip(CoreId src, CoreId dst, Cycle now, Cycle occupancy,
+                       DeliverFn deliver);
+
+    const noc::GridTopology &topology() const { return topo_; }
+
+    /** Traversal cycles for a granted path of @p hops hops. */
+    Cycle
+    traversalCycles(unsigned hops) const
+    {
+        if (hops == 0)
+            return 0;
+        return (hops + config_.hpcMax - 1) / config_.hpcMax;
+    }
+
+    // Statistics exercised by the figures.
+    stats::Scalar messagesSent;
+    stats::Scalar setupAttempts;
+    stats::Scalar setupFailures;
+    /** Messages that experienced no contention delay at all (granted
+     * in the cycle they were posted, no port queueing, no retry). */
+    stats::Scalar zeroRetryMessages;
+    stats::Scalar totalNetworkLatency; ///< send-call -> delivery cycles
+    stats::Distribution retryDistribution;
+
+    /** Average cycles from send() to delivery, network portion only. */
+    double
+    averageLatency() const
+    {
+        double n = messagesSent.value();
+        return n > 0 ? totalNetworkLatency.value() / n : 0.0;
+    }
+
+    /** Fraction of messages that acquired their path with no retry. */
+    double
+    noContentionFraction() const
+    {
+        double n = messagesSent.value();
+        return n > 0 ? zeroRetryMessages.value() / n : 0.0;
+    }
+
+  private:
+    struct Request
+    {
+        CoreId src;
+        CoreId dst;
+        Cycle posted; ///< cycle of the original send() call
+        Cycle activeAt; ///< earliest cycle this request may arbitrate
+        Cycle holdExtra; ///< extra link-hold cycles (round-trip mode)
+        bool roundTrip;
+        unsigned retries;
+        std::uint64_t seq; ///< FIFO tiebreak among same-source requests
+        DeliverFn deliver;
+    };
+
+    /** Run one arbitration round for the current cycle. */
+    void arbitrate();
+
+    /** Try to reserve all links of @p req's path(s). */
+    bool tryAcquire(const Request &req, Cycle now);
+
+    void scheduleArbitration(Cycle when);
+
+    EventQueue &queue_;
+    noc::GridTopology topo_;
+    FabricConfig config_;
+
+    /** Cycle through which each directed link is held (exclusive). */
+    std::vector<Cycle> linkHeldUntil_;
+    /** Per-source FIFO of waiting requests (one setup port each). */
+    std::vector<std::deque<Request>> pending_;
+    std::size_t numPending_ = 0;
+    Cycle arbitrationScheduledFor_ = invalidCycle;
+    std::uint64_t nextSeq_ = 0;
+    LambdaEvent arbitrationEvent_;
+};
+
+} // namespace nocstar::core
+
+#endif // NOCSTAR_CORE_FABRIC_HH

@@ -1,0 +1,343 @@
+/**
+ * @file
+ * NOCSTAR organization implementation.
+ */
+
+#include "core/nocstar_org.hh"
+
+#include "energy/sram_model.hh"
+
+namespace nocstar::core
+{
+
+NocstarOrg::NocstarOrg(const OrgConfig &config, OrgContext context,
+                       stats::StatGroup *parent)
+    : TlbOrganization("nocstar_org", config, std::move(context), parent),
+      topo_(noc::GridTopology::forCores(config.numCores)),
+      leaderNextFree_(config.numCores, 0)
+{
+    FabricConfig fabric_config;
+    fabric_config.hpcMax = config.hpcMax;
+    fabric_config.priorityEpoch = config.priorityEpoch;
+    fabric_config.ideal = config.kind == OrgKind::NocstarIdeal;
+    fabric_ = std::make_unique<NocstarFabric>("fabric", *ctx_.queue,
+                                              topo_, fabric_config, this);
+
+    std::uint32_t entries = config.sliceEntriesFor();
+    for (unsigned i = 0; i < config.numCores; ++i) {
+        slices_.push_back(std::make_unique<tlb::SetAssocTlb>(
+            "slice" + std::to_string(i), entries, config.l2Assoc, this));
+    }
+    sliceLatency_ = energy::SramModel::accessLatency(entries);
+}
+
+void
+NocstarOrg::respondHit(CoreId core, CoreId slice, tlb::TlbEntry entry,
+                       Cycle lookup_done, Cycle now, TranslationDone done)
+{
+    auto complete = [this, core, slice, entry, now,
+                     done = std::move(done)](Cycle arrival) {
+        TranslationResult result;
+        result.completedAt = arrival;
+        result.entry = entry;
+        result.l2Hit = true;
+        totalAccessLatency += static_cast<double>(arrival - now);
+        ctx_.queue->scheduleLambda(
+            arrival, [this, slice, result, done = std::move(done)] {
+                noteAccessEnd(slice);
+                done(result);
+            });
+    };
+
+    if (slice == core) {
+        complete(lookup_done);
+        return;
+    }
+    if (ctx_.energy)
+        ctx_.energy->addL2Message(energy::NocStyle::Nocstar,
+                                  topo_.hops(slice, core), 0);
+    // Response path setup overlaps the tail of the slice lookup
+    // (§III-C: "the response path can be setup speculatively, during
+    // the L2 TLB lookup").
+    fabric_->send(slice, core, lookup_done, std::move(complete));
+}
+
+void
+NocstarOrg::finishWithWalk(CoreId walk_core, CoreId requester,
+                           CoreId slice, ContextId ctx, Addr vaddr,
+                           Cycle start, Cycle now, TranslationDone done)
+{
+    launchWalk(
+        walk_core, requester, ctx, vaddr, start,
+        [this, walk_core, requester, slice, ctx, vaddr, now,
+         done = std::move(done)](const mem::WalkResult &walk) {
+            Cycle walk_done = ctx_.queue->curCycle();
+            tlb::TlbEntry entry = entryFor(ctx, vaddr, walk.translation);
+
+            auto fill_slice = [this, slice, ctx, entry](Cycle) {
+                slices_.at(slice)->insert(entry);
+                prefetchAround(*slices_.at(slice), ctx, entry.vpn,
+                               entry.size);
+            };
+
+            auto complete = [this, slice, entry, now,
+                             done = std::move(done)](Cycle at) {
+                TranslationResult result;
+                result.completedAt = at;
+                result.entry = entry;
+                result.walked = true;
+                totalAccessLatency += static_cast<double>(at - now);
+                ctx_.queue->scheduleLambda(
+                    at, [this, slice, result, done = std::move(done)] {
+                        noteAccessEnd(slice);
+                        done(result);
+                    });
+            };
+
+            if (walk_core == requester) {
+                // Requester walked; fill message to the home slice is
+                // off the critical path.
+                if (slice != requester) {
+                    if (ctx_.energy)
+                        ctx_.energy->addL2Message(
+                            energy::NocStyle::Nocstar,
+                            topo_.hops(requester, slice), 0);
+                    fabric_->send(requester, slice, walk_done,
+                                  fill_slice);
+                } else {
+                    fill_slice(walk_done);
+                }
+                complete(walk_done);
+            } else {
+                // Remote walk at the slice's core: fill locally, then
+                // respond with the translation.
+                fill_slice(walk_done);
+                if (ctx_.energy)
+                    ctx_.energy->addL2Message(
+                        energy::NocStyle::Nocstar,
+                        topo_.hops(walk_core, requester), 0);
+                fabric_->send(walk_core, requester, walk_done,
+                              std::move(complete));
+            }
+        });
+}
+
+void
+NocstarOrg::handleMiss(CoreId core, CoreId slice, ContextId ctx,
+                       Addr vaddr, Cycle lookup_done, Cycle now,
+                       TranslationDone done)
+{
+    if (config_.ptwPlacement == PtwPlacement::Remote || slice == core) {
+        finishWithWalk(slice, core, slice, ctx, vaddr, lookup_done, now,
+                       std::move(done));
+        return;
+    }
+    // Miss message travels back to the requester, which walks.
+    if (ctx_.energy)
+        ctx_.energy->addL2Message(energy::NocStyle::Nocstar,
+                                  topo_.hops(slice, core), 0);
+    fabric_->send(slice, core, lookup_done,
+                  [this, core, slice, ctx, vaddr, now,
+                   done = std::move(done)](Cycle arrival) {
+                      finishWithWalk(core, core, slice, ctx, vaddr,
+                                     arrival, now, std::move(done));
+                  });
+}
+
+void
+NocstarOrg::translate(CoreId core, ContextId ctx, Addr vaddr, Cycle now,
+                      TranslationDone done)
+{
+    CoreId slice = sliceOf(vaddr);
+    tlb::SetAssocTlb &array = *slices_.at(slice);
+    Cycle t0 = now + config_.initiateLatency;
+
+    ++l2Accesses;
+    noteAccessStart(slice);
+
+    if (ctx_.energy)
+        ctx_.energy->addL2Message(energy::NocStyle::Nocstar,
+                                  topo_.hops(core, slice),
+                                  array.numEntries());
+
+    // Functional lookup now; timing assembled by the continuations.
+    const tlb::TlbEntry *hit_entry = array.lookupAnySize(ctx, vaddr);
+    bool hit = hit_entry != nullptr;
+    tlb::TlbEntry entry = hit ? *hit_entry : tlb::TlbEntry{};
+
+    if (hit)
+        ++l2Hits;
+    else
+        ++l2Misses;
+
+    if (slice == core) {
+        Cycle start = portStart(slice, t0);
+        Cycle lookup_done = start + sliceLatency_;
+        if (hit)
+            respondHit(core, slice, entry, lookup_done, now,
+                       std::move(done));
+        else
+            handleMiss(core, slice, ctx, vaddr, lookup_done, now,
+                       std::move(done));
+        return;
+    }
+
+    if (config_.pathAcquire == PathAcquire::RoundTrip) {
+        // Hold request + response paths for the whole remote access.
+        Cycle occupancy = sliceLatency_ + 2;
+        fabric_->sendRoundTrip(
+            core, slice, t0, occupancy,
+            [this, core, slice, ctx, vaddr, hit, entry, now,
+             done = std::move(done)](Cycle arrival) {
+                Cycle start = portStart(slice, arrival + 1);
+                Cycle lookup_done = start + sliceLatency_;
+                if (hit) {
+                    // Return path is pre-granted: one traversal, no
+                    // arbitration.
+                    Cycle back = lookup_done +
+                        fabric_->traversalCycles(topo_.hops(slice,
+                                                            core));
+                    TranslationResult result;
+                    result.completedAt = back;
+                    result.entry = entry;
+                    result.l2Hit = true;
+                    totalAccessLatency +=
+                        static_cast<double>(back - now);
+                    ctx_.queue->scheduleLambda(
+                        back, [this, slice, result,
+                               done = std::move(done)] {
+                            noteAccessEnd(slice);
+                            done(result);
+                        });
+                } else {
+                    handleMiss(core, slice, ctx, vaddr, lookup_done,
+                               now, std::move(done));
+                }
+            });
+        return;
+    }
+
+    fabric_->send(core, slice, t0,
+                  [this, core, slice, ctx, vaddr, hit, entry, now,
+                   done = std::move(done)](Cycle arrival) {
+                      Cycle start = portStart(slice, arrival + 1);
+                      Cycle lookup_done = start + sliceLatency_;
+                      if (hit)
+                          respondHit(core, slice, entry, lookup_done,
+                                     now, std::move(done));
+                      else
+                          handleMiss(core, slice, ctx, vaddr,
+                                     lookup_done, now, std::move(done));
+                  });
+}
+
+void
+NocstarOrg::shootdown(CoreId, ContextId ctx, Addr vaddr,
+                      const std::vector<CoreId> &sharers, Cycle now,
+                      std::function<void(Cycle)> on_complete)
+{
+    ++shootdowns;
+    mem::Translation t = ctx_.pageTable->translate(ctx, vaddr);
+    PageNum vpn = pageNumber(vaddr, t.size);
+
+    for (CoreId sharer : sharers)
+        if (ctx_.l1Invalidate)
+            ctx_.l1Invalidate(sharer, ctx, vpn, t.size);
+
+    CoreId slice = sliceOf(vaddr);
+    if (slices_.at(slice)->invalidate(ctx, vpn, t.size))
+        ++shootdownL2Invalidations;
+
+    // Completion is tracked with a shared countdown across the relay
+    // messages actually sent.
+    struct ShootState
+    {
+        unsigned outstanding = 0;
+        Cycle last = 0;
+        Cycle started = 0;
+        std::function<void(Cycle)> onComplete;
+        TlbOrganization *org;
+    };
+    auto state = std::make_shared<ShootState>();
+    state->started = now;
+    state->onComplete = std::move(on_complete);
+    state->org = this;
+
+    auto arm = [state] { ++state->outstanding; };
+    // Sentinel guards against synchronous (local) deliveries draining
+    // the countdown before all legs are armed.
+    arm();
+    auto fired = [this, state](Cycle at) {
+        state->last = std::max(state->last, at);
+        if (--state->outstanding == 0) {
+            totalShootdownLatency +=
+                static_cast<double>(state->last - state->started);
+            if (state->onComplete)
+                state->onComplete(state->last);
+        }
+    };
+
+    auto slice_leg = [this, state, slice, fired](CoreId from, Cycle at) {
+        fabric_->send(from, slice, at, [this, slice, fired](Cycle arr) {
+            // Write-port occupancy: the invalidation lookup occupies
+            // the slice like a one-cycle pipelined access.
+            Cycle processed = portStart(slice, arr + 1) + 1;
+            ctx_.queue->scheduleLambda(processed, [fired, processed] {
+                fired(processed);
+            });
+        });
+    };
+
+    if (config_.invalLeaderGroup == 0) {
+        for (CoreId sharer : sharers) {
+            arm();
+            slice_leg(sharer, now);
+        }
+    } else {
+        // Upstream: every IPI'd core notifies its group leader.
+        // Downstream: each involved leader relays one deduplicated
+        // invalidation to the home slice, serialized at the leader.
+        std::vector<bool> leader_involved(config_.numCores, false);
+        for (CoreId sharer : sharers) {
+            CoreId leader = sharer - (sharer % config_.invalLeaderGroup);
+            leader_involved.at(leader) = true;
+            arm();
+            fabric_->send(sharer, leader, now,
+                          [fired](Cycle arr) { fired(arr); });
+        }
+        for (CoreId leader = 0; leader < config_.numCores; ++leader) {
+            if (!leader_involved[leader])
+                continue;
+            // Leader serializes relays at one per cycle; the relay
+            // follows the slowest plausible upstream notification.
+            Cycle relay = std::max(now + 1, leaderNextFree_[leader]);
+            leaderNextFree_[leader] = relay + 1;
+            arm();
+            slice_leg(leader, relay);
+        }
+    }
+    fired(now); // release the sentinel
+}
+
+void
+NocstarOrg::preloadShared(ContextId ctx, Addr vaddr,
+                          const mem::Translation &t)
+{
+    slices_.at(sliceOf(vaddr))->insert(entryFor(ctx, vaddr, t));
+}
+
+void
+NocstarOrg::flushAll()
+{
+    for (auto &slice : slices_)
+        slice->invalidateAll();
+}
+
+std::uint64_t
+NocstarOrg::totalEntries() const
+{
+    return static_cast<std::uint64_t>(config_.sliceEntriesFor()) *
+           config_.numCores;
+}
+
+} // namespace nocstar::core

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * NOCSTAR: distributed shared L2 TLB slices over the single-cycle
+ * circuit-switched fabric (paper §III). Area-normalized 920-entry
+ * slices; remote accesses follow the Fig 10 timeline: path setup,
+ * single-cycle traversal, slice lookup, (speculative) response path
+ * setup, single-cycle response traversal.
+ */
+
+#ifndef NOCSTAR_CORE_NOCSTAR_ORG_HH
+#define NOCSTAR_CORE_NOCSTAR_ORG_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/fabric.hh"
+#include "core/organization.hh"
+
+namespace nocstar::core
+{
+
+/**
+ * The paper's proposed organization.
+ */
+class NocstarOrg : public TlbOrganization
+{
+  public:
+    NocstarOrg(const OrgConfig &config, OrgContext context,
+               stats::StatGroup *parent = nullptr);
+
+    void translate(CoreId core, ContextId ctx, Addr vaddr, Cycle now,
+                   TranslationDone done) override;
+
+    void shootdown(CoreId initiator, ContextId ctx, Addr vaddr,
+                   const std::vector<CoreId> &sharers, Cycle now,
+                   std::function<void(Cycle)> on_complete) override;
+
+    void flushAll() override;
+
+    void preloadShared(ContextId ctx, Addr vaddr,
+                       const mem::Translation &t) override;
+
+    std::uint64_t totalEntries() const override;
+
+    /** Home slice: 4 KB-granule interleaving (same as distributed). */
+    CoreId
+    sliceOf(Addr vaddr) const
+    {
+        return static_cast<CoreId>(
+            (vaddr >> pageShift(PageSize::FourKB)) % config_.numCores);
+    }
+
+    tlb::SetAssocTlb &sliceArray(CoreId slice)
+    {
+        return *slices_.at(slice);
+    }
+
+    NocstarFabric &fabric() { return *fabric_; }
+
+    Cycle sliceLatency() const { return sliceLatency_; }
+
+  private:
+    /** Continue after a slice lookup that hit: respond to the core. */
+    void respondHit(CoreId core, CoreId slice, tlb::TlbEntry entry,
+                    Cycle lookup_done, Cycle now, TranslationDone done);
+
+    /** Continue after a slice miss per the walk-placement policy. */
+    void handleMiss(CoreId core, CoreId slice, ContextId ctx, Addr vaddr,
+                    Cycle lookup_done, Cycle now, TranslationDone done);
+
+    void finishWithWalk(CoreId walk_core, CoreId requester, CoreId slice,
+                        ContextId ctx, Addr vaddr, Cycle start, Cycle now,
+                        TranslationDone done);
+
+    noc::GridTopology topo_;
+    std::unique_ptr<NocstarFabric> fabric_;
+    std::vector<std::unique_ptr<tlb::SetAssocTlb>> slices_;
+    std::vector<Cycle> leaderNextFree_;
+    Cycle sliceLatency_;
+};
+
+} // namespace nocstar::core
+
+#endif // NOCSTAR_CORE_NOCSTAR_ORG_HH

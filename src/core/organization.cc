@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Shared organization machinery.
+ */
+
+#include "core/organization.hh"
+
+namespace nocstar::core
+{
+
+const char *
+orgKindName(OrgKind kind)
+{
+    switch (kind) {
+      case OrgKind::Private: return "private";
+      case OrgKind::MonolithicMesh: return "monolithic-mesh";
+      case OrgKind::MonolithicSmart: return "monolithic-smart";
+      case OrgKind::Distributed: return "distributed";
+      case OrgKind::IdealShared: return "ideal-shared";
+      case OrgKind::Nocstar: return "nocstar";
+      case OrgKind::NocstarIdeal: return "nocstar-ideal";
+    }
+    return "?";
+}
+
+bool
+isSliced(OrgKind kind)
+{
+    switch (kind) {
+      case OrgKind::Distributed:
+      case OrgKind::IdealShared:
+      case OrgKind::Nocstar:
+      case OrgKind::NocstarIdeal:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isShared(OrgKind kind)
+{
+    return kind != OrgKind::Private;
+}
+
+TlbOrganization::TlbOrganization(const std::string &name,
+                                 const OrgConfig &config,
+                                 OrgContext context,
+                                 stats::StatGroup *parent)
+    : stats::StatGroup(name, parent),
+      l2Accesses(this, "l2_accesses", "L2 TLB demand accesses"),
+      l2Hits(this, "l2_hits", "L2 TLB demand hits"),
+      l2Misses(this, "l2_misses", "L2 TLB demand misses"),
+      walksLaunched(this, "walks", "page walks launched"),
+      prefetchInserts(this, "prefetch_inserts",
+                      "translations inserted by the prefetcher"),
+      shootdowns(this, "shootdowns", "shootdown operations"),
+      shootdownL2Invalidations(this, "shootdown_l2_invalidations",
+                               "L2 entries invalidated by shootdowns"),
+      totalAccessLatency(this, "access_latency_cycles",
+                         "total L1-miss-to-completion cycles"),
+      totalShootdownLatency(this, "shootdown_latency_cycles",
+                            "total shootdown completion cycles"),
+      concurrency(this, "concurrency",
+                  "chip-wide concurrent L2 accesses at access start",
+                  1, 513, 1),
+      sliceConcurrency(this, "slice_concurrency",
+                       "same-slice concurrent accesses at access start",
+                       1, 513, 1),
+      config_(config), ctx_(std::move(context)),
+      prefetcher_(config.prefetchDistance)
+{
+    if (!ctx_.queue || !ctx_.pageTable)
+        fatal("organization '", name, "' missing queue or page table");
+    if (ctx_.walkers.size() != config.numCores)
+        fatal("organization '", name, "' expects one walker per core");
+    unsigned slices = std::max(config.numCores, config.banks);
+    sliceOutstanding_.assign(slices, 0);
+    ports_.assign(slices, PortState{});
+}
+
+void
+TlbOrganization::noteAccessStart(unsigned slice)
+{
+    // Sample including this access, so "1" means an isolated access,
+    // matching the paper's "1 acc" category.
+    ++outstanding_;
+    ++sliceOutstanding_.at(slice);
+    concurrency.sample(static_cast<double>(outstanding_));
+    sliceConcurrency.sample(
+        static_cast<double>(sliceOutstanding_[slice]));
+}
+
+void
+TlbOrganization::noteAccessEnd(unsigned slice)
+{
+    if (outstanding_ == 0 || sliceOutstanding_.at(slice) == 0)
+        panic("unbalanced access tracking");
+    --outstanding_;
+    --sliceOutstanding_[slice];
+}
+
+Cycle
+TlbOrganization::portStart(unsigned slice, Cycle earliest)
+{
+    PortState &port = ports_.at(slice);
+    if (port.cycle < earliest) {
+        port.cycle = earliest;
+        port.used = 1;
+        return earliest;
+    }
+    // Find the first cycle at or after port.cycle with spare issue slots.
+    if (port.used < config_.readPortsPerCycle) {
+        ++port.used;
+        return port.cycle;
+    }
+    ++port.cycle;
+    port.used = 1;
+    return port.cycle;
+}
+
+void
+TlbOrganization::launchWalk(CoreId walk_core, CoreId requester,
+                            ContextId ctx, Addr vaddr, Cycle now,
+                            std::function<void(const mem::WalkResult &)> k)
+{
+    ++walksLaunched;
+    mem::WalkResult walk =
+        ctx_.walkers.at(walk_core)->walk(ctx, vaddr, requester, now);
+    chargeWalkEnergy(walk);
+    Cycle done = now + walk.totalLatency();
+    ctx_.queue->scheduleLambda(done, [walk, k = std::move(k)] {
+        k(walk);
+    });
+}
+
+void
+TlbOrganization::chargeWalkEnergy(const mem::WalkResult &walk)
+{
+    if (!ctx_.energy)
+        return;
+    for (unsigned i = 0; i < walk.pscHits; ++i)
+        ctx_.energy->addWalkReference(energy::WalkService::PwcHit);
+    for (unsigned i = 0; i < walk.l2Refs; ++i)
+        ctx_.energy->addWalkReference(energy::WalkService::L2Hit);
+    for (unsigned i = 0; i < walk.llcRefs; ++i)
+        ctx_.energy->addWalkReference(energy::WalkService::LlcHit);
+    for (unsigned i = 0; i < walk.dramRefs; ++i)
+        ctx_.energy->addWalkReference(energy::WalkService::Dram);
+}
+
+void
+TlbOrganization::prefetchAround(tlb::SetAssocTlb &array, ContextId ctx,
+                                PageNum vpn, PageSize size)
+{
+    if (prefetcher_.distance() == 0)
+        return;
+    for (PageNum candidate : prefetcher_.candidates(vpn)) {
+        Addr vaddr = candidate << pageShift(size);
+        mem::Translation t = ctx_.pageTable->translate(ctx, vaddr);
+        if (t.size != size)
+            continue; // neighbouring page has a different granularity
+        if (array.present(ctx, candidate, size))
+            continue;
+        tlb::TlbEntry entry;
+        entry.valid = true;
+        entry.vpn = candidate;
+        entry.ppn = t.ppn;
+        entry.ctx = ctx;
+        entry.size = size;
+        entry.prefetched = true;
+        array.insert(entry);
+        ++prefetchInserts;
+    }
+}
+
+tlb::TlbEntry
+TlbOrganization::entryFor(ContextId ctx, Addr vaddr,
+                          const mem::Translation &t) const
+{
+    tlb::TlbEntry entry;
+    entry.valid = true;
+    entry.size = t.size;
+    entry.vpn = pageNumber(vaddr, t.size);
+    entry.ppn = t.ppn;
+    entry.ctx = ctx;
+    return entry;
+}
+
+} // namespace nocstar::core

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Last-level TLB organizations (paper Fig 1): the base class owns the
+ * machinery every organization shares -- contention tracking for
+ * Figs 5/6, port scheduling, walk dispatch with requester/remote
+ * placement, prefetch, shootdown bookkeeping -- while subclasses model
+ * the private, monolithic, distributed and NOCSTAR timing paths.
+ */
+
+#ifndef NOCSTAR_CORE_ORGANIZATION_HH
+#define NOCSTAR_CORE_ORGANIZATION_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "energy/translation_energy.hh"
+#include "mem/page_table.hh"
+#include "mem/page_walker.hh"
+#include "noc/topology.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "tlb/prefetcher.hh"
+#include "tlb/set_assoc_tlb.hh"
+
+namespace nocstar::core
+{
+
+/** Completed translation handed back to the requesting core. */
+struct TranslationResult
+{
+    Cycle completedAt = 0;
+    tlb::TlbEntry entry;
+    bool l2Hit = false;
+    bool walked = false;
+};
+
+/** Callback when a translation completes. */
+using TranslationDone = std::function<void(const TranslationResult &)>;
+
+/**
+ * Environment handed to an organization by the System.
+ */
+struct OrgContext
+{
+    EventQueue *queue = nullptr;
+    mem::PageTable *pageTable = nullptr;
+    /** One walker per core. */
+    std::vector<mem::PageTableWalker *> walkers;
+    energy::TranslationEnergyModel *energy = nullptr;
+    /** Invalidate one translation in a core's L1 TLB group. */
+    std::function<void(CoreId, ContextId, PageNum, PageSize)>
+        l1Invalidate;
+    /** Flush a core's entire L1 TLB group. */
+    std::function<void(CoreId)> l1Flush;
+};
+
+/**
+ * Abstract last-level TLB organization.
+ */
+class TlbOrganization : public stats::StatGroup
+{
+  public:
+    TlbOrganization(const std::string &name, const OrgConfig &config,
+                    OrgContext context, stats::StatGroup *parent = nullptr);
+    ~TlbOrganization() override = default;
+
+    /**
+     * Resolve an L1 TLB miss raised at @p now on @p core. @p done runs
+     * once the translation is available at the requesting core.
+     */
+    virtual void translate(CoreId core, ContextId ctx, Addr vaddr,
+                           Cycle now, TranslationDone done) = 0;
+
+    /**
+     * Shoot down the page containing @p vaddr: all sharer L1s are
+     * invalidated immediately (IPI handlers), and the L2 structure's
+     * stale entry is invalidated via the configured relay policy.
+     * @param sharers cores whose L1s received the IPI.
+     * @param on_complete optional callback when the L2 entry is gone.
+     */
+    virtual void shootdown(CoreId initiator, ContextId ctx, Addr vaddr,
+                           const std::vector<CoreId> &sharers, Cycle now,
+                           std::function<void(Cycle)> on_complete) = 0;
+
+    /** Flush all L2 structures (context switch without PCID). */
+    virtual void flushAll() = 0;
+
+    /**
+     * Functionally install a steady-state-resident translation into
+     * one core's private structure (no-op for shared organizations).
+     * Pre-warming skips the compulsory-miss phase that short
+     * simulations would otherwise measure instead of steady state.
+     */
+    virtual void
+    preloadPrivate(CoreId core, ContextId ctx, Addr vaddr,
+                   const mem::Translation &t)
+    {
+        (void)core; (void)ctx; (void)vaddr; (void)t;
+    }
+
+    /**
+     * Functionally install a steady-state-resident translation into
+     * the shared structure's home slice/bank (no-op for private).
+     */
+    virtual void
+    preloadShared(ContextId ctx, Addr vaddr, const mem::Translation &t)
+    {
+        (void)ctx; (void)vaddr; (void)t;
+    }
+
+    /** Total L2 TLB entries across the chip (for leakage). */
+    virtual std::uint64_t totalEntries() const = 0;
+
+    const OrgConfig &config() const { return config_; }
+
+    // Chip-wide statistics shared by all organizations.
+    stats::Scalar l2Accesses;
+    stats::Scalar l2Hits;
+    stats::Scalar l2Misses;
+    stats::Scalar walksLaunched;
+    stats::Scalar prefetchInserts;
+    stats::Scalar shootdowns;
+    stats::Scalar shootdownL2Invalidations;
+    stats::Scalar totalAccessLatency; ///< L1-miss -> completion cycles
+    stats::Scalar totalShootdownLatency;
+    /** Concurrent chip-wide L2 accesses at each access start (Fig 5). */
+    stats::Distribution concurrency;
+    /** Concurrent same-slice accesses at each access start (Fig 6). */
+    stats::Distribution sliceConcurrency;
+
+    double
+    l2MissRate() const
+    {
+        double acc = l2Accesses.value();
+        return acc > 0 ? l2Misses.value() / acc : 0.0;
+    }
+
+    double
+    averageAccessLatency() const
+    {
+        double acc = l2Accesses.value();
+        return acc > 0 ? totalAccessLatency.value() / acc : 0.0;
+    }
+
+  protected:
+    /** RAII-style tracking of one in-flight L2 access. */
+    void noteAccessStart(unsigned slice);
+    void noteAccessEnd(unsigned slice);
+
+    /**
+     * Pipelined read-port schedule: at most config.readPortsPerCycle
+     * new lookups may start per cycle on one slice / bank.
+     * @return the cycle the lookup actually starts.
+     */
+    Cycle portStart(unsigned slice, Cycle earliest);
+
+    /**
+     * Launch the page-table walk for a missed translation on
+     * @p walk_core's walker and hand the result to @p k.
+     */
+    void launchWalk(CoreId walk_core, CoreId requester, ContextId ctx,
+                    Addr vaddr, Cycle now,
+                    std::function<void(const mem::WalkResult &)> k);
+
+    /** Record walk references with the energy model. */
+    void chargeWalkEnergy(const mem::WalkResult &walk);
+
+    /**
+     * Functionally insert prefetch candidates around a missed page
+     * into @p array (no timing; write-port pressure is negligible at
+     * TLB miss rates).
+     */
+    void prefetchAround(tlb::SetAssocTlb &array, ContextId ctx,
+                        PageNum vpn, PageSize size);
+
+    /** Make a TLB entry from a walk's translation. */
+    tlb::TlbEntry entryFor(ContextId ctx, Addr vaddr,
+                           const mem::Translation &t) const;
+
+    OrgConfig config_;
+    OrgContext ctx_;
+    tlb::TlbPrefetcher prefetcher_;
+
+  private:
+    struct PortState
+    {
+        Cycle cycle = 0;
+        unsigned used = 0;
+    };
+
+    unsigned outstanding_ = 0;
+    std::vector<unsigned> sliceOutstanding_;
+    std::vector<PortState> ports_;
+};
+
+/** Build the organization selected by @p config. */
+std::unique_ptr<TlbOrganization>
+makeOrganization(const OrgConfig &config, OrgContext context,
+                 stats::StatGroup *parent = nullptr);
+
+} // namespace nocstar::core
+
+#endif // NOCSTAR_CORE_ORGANIZATION_HH

@@ -1,0 +1,492 @@
+/**
+ * @file
+ * System implementation.
+ */
+
+#include "cpu/system.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/nocstar_org.hh"
+#include "energy/sram_model.hh"
+
+namespace nocstar::cpu
+{
+
+System::System(const SystemConfig &config)
+    : stats::StatGroup("system"),
+      config_(config),
+      rng_(config.seed ^ 0x5915ca9fULL),
+      l1Accesses_(this, "l1_accesses", "L1 TLB demand accesses"),
+      l1Misses_(this, "l1_misses", "L1 TLB demand misses"),
+      pollutionStalls_(this, "pollution_stalls",
+                       "cycles charged for foreign PTE fills")
+{
+    if (config.apps.empty())
+        fatal("system needs at least one application");
+    unsigned cores = config.org.numCores;
+
+    pageTable_ = std::make_unique<mem::PageTable>(0.0, config.seed);
+    for (std::size_t a = 0; a < config.apps.size(); ++a) {
+        double fraction = config.superpages
+            ? config.apps[a].spec.superpageFraction : 0.0;
+        pageTable_->setContextSuperpageFraction(
+            static_cast<ContextId>(a), fraction);
+    }
+
+    caches_ = std::make_unique<mem::CacheModel>("caches", cores,
+                                                config.caches, this);
+    caches_->setForeignFillHook([this](CoreId core) {
+        // Charge the pollution penalty to a thread on the polluted core.
+        auto &victims = threadsOfCore_.at(core);
+        if (victims.empty())
+            return;
+        HwThread &victim = threads_[victims[0]];
+        victim.pendingStall += config_.pollutionPenalty;
+        pollutionStalls_ += static_cast<double>(config_.pollutionPenalty);
+    });
+
+    core::OrgContext org_ctx;
+    org_ctx.queue = &queue_;
+    org_ctx.pageTable = pageTable_.get();
+    org_ctx.energy = &energy_;
+    for (CoreId c = 0; c < cores; ++c) {
+        walkers_.push_back(std::make_unique<mem::PageTableWalker>(
+            "walker" + std::to_string(c), c, *pageTable_, *caches_,
+            config.walker, this));
+        org_ctx.walkers.push_back(walkers_.back().get());
+        l1s_.push_back(std::make_unique<tlb::L1TlbGroup>(
+            "l1_core" + std::to_string(c), config.l1, this));
+    }
+    org_ctx.l1Invalidate = [this](CoreId core, ContextId ctx, PageNum vpn,
+                                  PageSize size) {
+        l1s_.at(core)->invalidate(ctx, vpn, size);
+    };
+    org_ctx.l1Flush = [this](CoreId core) {
+        l1s_.at(core)->invalidateAll();
+    };
+
+    org_ = core::makeOrganization(config.org, std::move(org_ctx), this);
+
+    // Thread placement: spread threads across cores first, then fill
+    // SMT slots, exactly one app context per thread.
+    threadsOfCore_.resize(cores);
+    traces_.resize(config.apps.size());
+    unsigned slot = 0;
+    unsigned max_slots = cores * std::max(1u, config.smtPerCore);
+    for (std::size_t a = 0; a < config.apps.size(); ++a) {
+        const AppConfig &app = config.apps[a];
+        if (!app.traceFile.empty())
+            traces_[a] = std::make_unique<workload::TraceFile>(
+                workload::TraceFile::load(app.traceFile));
+        for (unsigned t = 0; t < app.threads; ++t) {
+            if (slot >= max_slots)
+                fatal("more threads than SMT slots (",
+                      max_slots, ")");
+            HwThread thread;
+            thread.app = static_cast<unsigned>(a);
+            thread.ctx = static_cast<ContextId>(a);
+            thread.core = static_cast<CoreId>(slot % cores);
+            if (traces_[a])
+                thread.gen = traces_[a]->sourceFor(t);
+            else
+                thread.gen =
+                    std::make_unique<workload::AccessGenerator>(
+                        app.spec, thread.ctx, t, config.seed);
+            if (config.hotspotSlice >= 0)
+                thread.hotspotRng = std::make_unique<Random>(
+                    config.seed ^ (0x4075ULL) ^
+                    (static_cast<std::uint64_t>(slot) << 20));
+            threadsOfCore_[thread.core].push_back(threads_.size());
+            threads_.push_back(std::move(thread));
+            ++slot;
+        }
+    }
+    if (!config.captureTracePath.empty())
+        capture_ = std::make_unique<workload::TraceFile>();
+}
+
+System::~System() = default;
+
+Addr
+System::nextAddress(HwThread &thread)
+{
+    if (thread.hotspotRng &&
+        thread.hotspotRng->chance(config_.hotspotFraction)) {
+        // Slice-hotspot microbenchmark: a draw from the small shared
+        // pool whose pages all home on the target slice.
+        unsigned n = config_.org.numCores;
+        PageNum page = thread.hotspotRng->below(config_.hotspotPages);
+        PageNum vpn = ((0x0300000000ULL + page) * n +
+                       static_cast<PageNum>(config_.hotspotSlice) % n);
+        return vpn << pageShift(PageSize::FourKB);
+    }
+    Addr raw = thread.gen->next();
+    if (capture_) {
+        auto index = static_cast<unsigned>(&thread - threads_.data());
+        capture_->append(index, raw);
+    }
+    return raw;
+}
+
+Cycle
+System::burstCycles(HwThread &thread)
+{
+    const workload::WorkloadSpec &spec = config_.apps[thread.app].spec;
+    double cost = spec.instructionsPerAccess * spec.baseCpi +
+                  spec.dataStallPerAccess + thread.cycleCarry;
+    auto whole = static_cast<Cycle>(cost);
+    thread.cycleCarry = cost - static_cast<double>(whole);
+    thread.instructions +=
+        static_cast<std::uint64_t>(spec.instructionsPerAccess);
+    Cycle stall = thread.pendingStall;
+    thread.pendingStall = 0;
+    return whole + stall;
+}
+
+void
+System::scheduleStep(std::size_t thread_index, Cycle when)
+{
+    queue_.scheduleLambda(when, [this, thread_index] {
+        step(thread_index);
+    });
+}
+
+void
+System::step(std::size_t thread_index)
+{
+    HwThread &thread = threads_[thread_index];
+    Cycle now = queue_.curCycle();
+
+    if (thread.accessesDone >= thread.quota) {
+        if (!thread.finished) {
+            thread.finished = true;
+            thread.finishedAt = now;
+            --unfinished_;
+        }
+        return;
+    }
+    ++thread.accessesDone;
+
+    Addr vaddr = nextAddress(thread);
+    mem::Translation t = pageTable_->translate(thread.ctx, vaddr);
+    PageNum vpn = pageNumber(vaddr, t.size);
+
+    ++l1Accesses_;
+    energy_.addL1Lookup();
+    const tlb::TlbEntry *l1_hit =
+        l1s_.at(thread.core)->lookup(thread.ctx, vpn, t.size);
+
+    if (l1_hit) {
+        // Translation overlapped with the L1 cache access: no stall.
+        scheduleStep(thread_index, now + burstCycles(thread));
+        return;
+    }
+
+    ++l1Misses_;
+    org_->translate(
+        thread.core, thread.ctx, vaddr, now,
+        [this, thread_index](const core::TranslationResult &result) {
+            HwThread &th = threads_[thread_index];
+            l1s_.at(th.core)->insert(result.entry);
+            Cycle resume = std::max(result.completedAt,
+                                    queue_.curCycle());
+            scheduleStep(thread_index, resume + burstCycles(th));
+        });
+}
+
+void
+System::installContextSwitchEvent()
+{
+    if (config_.contextSwitchInterval == 0)
+        return;
+    Cycle when = queue_.curCycle() + config_.contextSwitchInterval;
+    queue_.scheduleLambda(when, [this] {
+        if (unfinished_ == 0)
+            return;
+        // x86 context switch without PCID: everything is flushed.
+        for (auto &l1 : l1s_)
+            l1->invalidateAll();
+        org_->flushAll();
+        installContextSwitchEvent();
+    });
+}
+
+void
+System::stormOp()
+{
+    if (unfinished_ == 0)
+        return;
+
+    // The storm app is the last context: allocate-promote-break cycles
+    // over its shared pool (paper §V, TLB storm microbenchmark).
+    auto storm_app = static_cast<unsigned>(config_.apps.size() - 1);
+    auto ctx = static_cast<ContextId>(storm_app);
+    const workload::WorkloadSpec &spec = config_.apps[storm_app].spec;
+
+    std::uint64_t regions =
+        std::max<std::uint64_t>(1, spec.warmPages / 512);
+    std::uint64_t region = stormRegionCursor_++ % regions;
+    Addr base = workload::AccessGenerator::sharedBase(ctx) +
+                (region << pageShift(PageSize::TwoMB));
+
+    unsigned invalidated =
+        pageTable_->setRegionSuperpage(ctx, base, stormPromote_);
+    stormPromote_ = !stormPromote_;
+
+    // Sharers: every core running a thread of the storm context.
+    std::vector<CoreId> sharers;
+    for (const HwThread &thread : threads_) {
+        if (thread.ctx == ctx &&
+            std::find(sharers.begin(), sharers.end(), thread.core) ==
+                sharers.end())
+            sharers.push_back(thread.core);
+    }
+
+    // A promote invalidates 512 distinct entries; we time a sample of
+    // the messages and pause sharers for the IPI handler.
+    for (std::size_t i = 0; i < threads_.size(); ++i) {
+        if (threads_[i].ctx == ctx && !threads_[i].finished)
+            threads_[i].pendingStall += config_.ipiPauseCycles;
+    }
+    unsigned messages = std::min<unsigned>(
+        config_.stormMessagesPerOp, std::max(1u, invalidated));
+    Cycle now = queue_.curCycle();
+    for (unsigned m = 0; m < messages; ++m) {
+        Addr page = base + (static_cast<Addr>(m)
+                            << pageShift(PageSize::FourKB));
+        CoreId initiator = sharers.empty() ? 0 : sharers[m %
+                                                         sharers.size()];
+        org_->shootdown(initiator, ctx, page, sharers, now, nullptr);
+    }
+
+    queue_.scheduleLambda(now + config_.stormRemapInterval,
+                          [this] { stormOp(); });
+}
+
+void
+System::installStormEvent()
+{
+    if (config_.stormRemapInterval == 0)
+        return;
+    queue_.scheduleLambda(queue_.curCycle() + config_.stormRemapInterval,
+                          [this] { stormOp(); });
+}
+
+std::vector<double>
+System::paperBuckets(const stats::Distribution &dist)
+{
+    // Paper bins: 1, 2-4, 5-8, 9-12, ..., 25-28, 29+.
+    std::vector<double> bins(9, 0.0);
+    const auto &buckets = dist.buckets();
+    std::uint64_t total = dist.numSamples();
+    if (total == 0)
+        return bins;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        if (!buckets[i])
+            continue;
+        auto value = static_cast<unsigned>(i + 1); // bucket i holds i+1
+        std::size_t bin;
+        if (value <= 1)
+            bin = 0;
+        else if (value <= 4)
+            bin = 1;
+        else if (value >= 29)
+            bin = 8;
+        else
+            bin = 2 + (value - 5) / 4;
+        bins[bin] += static_cast<double>(buckets[i]);
+    }
+    bins[8] += static_cast<double>(dist.overflow());
+    for (double &b : bins)
+        b /= static_cast<double>(total);
+    return bins;
+}
+
+void
+System::prewarm()
+{
+    // Install the steady-state resident sets so short runs measure
+    // capacity behaviour rather than the compulsory-miss transient.
+    // Insert deepest rank first so the hottest pages end most recent.
+    bool shared = core::isShared(config_.org.kind);
+    unsigned cores = config_.org.numCores;
+
+    if (shared) {
+        // One copy chip-wide: each app gets an equal share of the
+        // aggregate capacity.
+        std::uint64_t budget = org_->totalEntries() * 95 / 100 /
+                               config_.apps.size();
+        for (std::size_t a = 0; a < config_.apps.size(); ++a) {
+            const auto &spec = config_.apps[a].spec;
+            auto ctx = static_cast<ContextId>(a);
+            std::uint64_t ranks = std::min<std::uint64_t>(
+                spec.warmPages, budget);
+            for (std::uint64_t r = ranks; r-- > 0;) {
+                Addr vaddr =
+                    workload::AccessGenerator::sharedBase(ctx) +
+                    (r << pageShift(PageSize::FourKB));
+                org_->preloadShared(ctx, vaddr,
+                                    pageTable_->translate(ctx, vaddr));
+            }
+        }
+    } else {
+        // Every core holds its own copy of its threads' top ranks:
+        // the replication the shared organizations eliminate.
+        for (CoreId c = 0; c < cores; ++c) {
+            const auto &residents = threadsOfCore_[c];
+            if (residents.empty())
+                continue;
+            std::uint64_t budget = static_cast<std::uint64_t>(
+                                       config_.org.l2Entries) *
+                                   9 / 10 / residents.size();
+            for (std::size_t ti : residents) {
+                const HwThread &thread = threads_[ti];
+                const auto &spec = config_.apps[thread.app].spec;
+                std::uint64_t ranks = std::min<std::uint64_t>(
+                    spec.warmPages, budget);
+                for (std::uint64_t r = ranks; r-- > 0;) {
+                    Addr vaddr =
+                        workload::AccessGenerator::sharedBase(
+                            thread.ctx) +
+                        (r << pageShift(PageSize::FourKB));
+                    org_->preloadPrivate(
+                        c, thread.ctx, vaddr,
+                        pageTable_->translate(thread.ctx, vaddr));
+                }
+            }
+        }
+    }
+
+    // Hot sets: resident in both the L1 group and the L2 structure
+    // (the hierarchy is mostly-inclusive).
+    for (const HwThread &thread : threads_) {
+        const auto &spec = config_.apps[thread.app].spec;
+        unsigned t_index = 0;
+        // Recover the generator's thread index from its private base.
+        // (Threads of an app are numbered in creation order.)
+        t_index = threadIndexWithinApp(thread);
+        for (std::uint64_t p = spec.hotPages; p-- > 0;) {
+            Addr vaddr =
+                workload::AccessGenerator::privateBase(thread.ctx,
+                                                       t_index) +
+                (p << pageShift(PageSize::FourKB));
+            mem::Translation t = pageTable_->translate(thread.ctx,
+                                                       vaddr);
+            if (shared)
+                org_->preloadShared(thread.ctx, vaddr, t);
+            else
+                org_->preloadPrivate(thread.core, thread.ctx, vaddr, t);
+            tlb::TlbEntry entry;
+            entry.valid = true;
+            entry.size = t.size;
+            entry.vpn = pageNumber(vaddr, t.size);
+            entry.ppn = t.ppn;
+            entry.ctx = thread.ctx;
+            l1s_.at(thread.core)->insert(entry);
+        }
+    }
+}
+
+unsigned
+System::threadIndexWithinApp(const HwThread &thread) const
+{
+    unsigned index = 0;
+    for (const HwThread &other : threads_) {
+        if (&other == &thread)
+            return index;
+        if (other.app == thread.app)
+            ++index;
+    }
+    return index;
+}
+
+RunResult
+System::run(std::uint64_t accesses_per_thread)
+{
+    prewarm();
+    unfinished_ = static_cast<unsigned>(threads_.size());
+    for (std::size_t i = 0; i < threads_.size(); ++i) {
+        threads_[i].quota = accesses_per_thread;
+        // Stagger starts a little so cores do not phase-lock.
+        scheduleStep(i, rng_.below(8));
+    }
+    installContextSwitchEvent();
+    installStormEvent();
+
+    queue_.run();
+
+    if (capture_)
+        capture_->save(config_.captureTracePath);
+
+    RunResult result;
+    result.appCycles.assign(config_.apps.size(), 0);
+    std::vector<std::uint64_t> app_instr(config_.apps.size(), 0);
+    for (const HwThread &thread : threads_) {
+        result.cycles = std::max(result.cycles, thread.finishedAt);
+        result.meanCycles += static_cast<double>(thread.finishedAt) /
+                             static_cast<double>(threads_.size());
+        result.instructions += thread.instructions;
+        result.appCycles[thread.app] =
+            std::max(result.appCycles[thread.app], thread.finishedAt);
+        app_instr[thread.app] += thread.instructions;
+    }
+    result.ipc = result.cycles
+        ? static_cast<double>(result.instructions) /
+              static_cast<double>(result.cycles)
+        : 0.0;
+    for (std::size_t a = 0; a < config_.apps.size(); ++a) {
+        result.appIpc.push_back(
+            result.appCycles[a]
+                ? static_cast<double>(app_instr[a]) /
+                      static_cast<double>(result.appCycles[a])
+                : 0.0);
+    }
+
+    result.l1Accesses =
+        static_cast<std::uint64_t>(l1Accesses_.value());
+    result.l1Misses = static_cast<std::uint64_t>(l1Misses_.value());
+    result.l2Accesses =
+        static_cast<std::uint64_t>(org_->l2Accesses.value());
+    result.l2Hits = static_cast<std::uint64_t>(org_->l2Hits.value());
+    result.l2Misses = static_cast<std::uint64_t>(org_->l2Misses.value());
+    result.l2MissRate = org_->l2MissRate();
+    result.avgL2AccessLatency = org_->averageAccessLatency();
+
+    double walks = 0, walk_cycles = 0;
+    for (const auto &walker : walkers_) {
+        walks += walker->walks.value();
+        walk_cycles += walker->walkCycles.value();
+    }
+    result.walks = static_cast<std::uint64_t>(walks);
+    result.avgWalkLatency = walks > 0 ? walk_cycles / walks : 0.0;
+    result.beyondL2Fraction = caches_->beyondL2Fraction();
+
+    // Leakage of the TLB arrays over the run at 2 GHz.
+    double tlb_mw = energy::SramModel::leakageMw(org_->totalEntries());
+    for (unsigned c = 0; c < config_.org.numCores; ++c)
+        tlb_mw += energy::SramModel::leakageMw(100); // L1 group
+    energy_.addLeakage(tlb_mw, result.cycles);
+    result.energyPj = energy_.totalPj();
+
+    if (auto *nocstar = dynamic_cast<core::NocstarOrg *>(org_.get())) {
+        result.fabricAvgLatency = nocstar->fabric().averageLatency();
+        result.fabricNoContention =
+            nocstar->fabric().noContentionFraction();
+    }
+
+    result.shootdowns =
+        static_cast<std::uint64_t>(org_->shootdowns.value());
+    result.avgShootdownLatency = result.shootdowns
+        ? org_->totalShootdownLatency.value() /
+              static_cast<double>(result.shootdowns)
+        : 0.0;
+
+    result.concurrencyBuckets = paperBuckets(org_->concurrency);
+    result.sliceConcurrencyBuckets =
+        paperBuckets(org_->sliceConcurrency);
+    return result;
+}
+
+} // namespace nocstar::cpu

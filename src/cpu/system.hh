@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Full-system model: cores generating address streams through per-core
+ * L1 TLBs, a last-level TLB organization, page-table walkers and the
+ * walk-reference cache hierarchy -- the simulation the paper's Figures
+ * 2, 4-6 and 12-19 are drawn from.
+ *
+ * Timing model: in-order cores; address translation is on the critical
+ * path of every memory access (paper §I), so an L1 TLB miss stalls the
+ * issuing thread until the organization returns the translation. All
+ * other per-access costs (base CPI, data-side stalls) are per-workload
+ * constants, identical across organizations, so speedups isolate the
+ * translation path exactly as the paper's methodology does.
+ */
+
+#ifndef NOCSTAR_CPU_SYSTEM_HH
+#define NOCSTAR_CPU_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/organization.hh"
+#include "energy/translation_energy.hh"
+#include "mem/cache_model.hh"
+#include "mem/page_table.hh"
+#include "mem/page_walker.hh"
+#include "sim/event_queue.hh"
+#include "tlb/l1_tlb.hh"
+#include "workload/generator.hh"
+#include "workload/spec.hh"
+#include "workload/trace.hh"
+
+namespace nocstar::cpu
+{
+
+/** One application instance in the mix. */
+struct AppConfig
+{
+    workload::WorkloadSpec spec;
+    unsigned threads = 1;
+    /**
+     * If non-empty, thread t replays this trace's thread-t records
+     * (looping) instead of drawing from the synthetic generator; the
+     * spec still provides the timing parameters (CPI, data stalls)
+     * and the prewarm footprint hints.
+     */
+    std::string traceFile;
+};
+
+/** Full system configuration. */
+struct SystemConfig
+{
+    core::OrgConfig org;
+    tlb::L1TlbConfig l1;
+    mem::CacheModelConfig caches;
+    mem::WalkerConfig walker;
+
+    /** Applications; context id == index into this vector. */
+    std::vector<AppConfig> apps;
+
+    unsigned smtPerCore = 1;
+    /** Disable transparent superpages (Fig 12's 4 KB-only runs). */
+    bool superpages = true;
+    std::uint64_t seed = 1;
+
+    /** Cycles charged to a core per foreign PTE fill (Fig 17). */
+    Cycle pollutionPenalty = 15;
+
+    /** Flush all TLBs this often (0 = never; storm runs use 1M). */
+    Cycle contextSwitchInterval = 0;
+    /** Storm microbenchmark remap period (0 = off). */
+    Cycle stormRemapInterval = 0;
+    /** Timed slice-invalidation messages modelled per storm op. */
+    unsigned stormMessagesPerOp = 16;
+    /** Cycles an IPI pauses each sharer thread. */
+    Cycle ipiPauseCycles = 30;
+
+    /**
+     * Slice-hotspot microbenchmark (paper §V, "TLB slice
+     * microbenchmark"): if >= 0, every thread directs a fraction of
+     * its accesses at a small dedicated pool homed on this slice,
+     * stressing that slice's ports and paths while the rest of the
+     * stream stays normal.
+     */
+    int hotspotSlice = -1;
+    /** Fraction of accesses redirected at the hotspot slice. */
+    double hotspotFraction = 0.3;
+    /** Pages in the hotspot pool (kept below one slice's capacity). */
+    unsigned hotspotPages = 256;
+
+    /**
+     * If non-empty, capture every generated address as a trace record
+     * keyed by global thread index and save it here after run().
+     * Intended for single-app systems whose traces are replayed via
+     * AppConfig::traceFile.
+     */
+    std::string captureTracePath;
+};
+
+/** Aggregated outcome of one simulation. */
+struct RunResult
+{
+    /** Slowest thread's finish time (barrier runtime). */
+    Cycle cycles = 0;
+    /**
+     * Mean thread finish time: the fixed-work analogue of fixed-time
+     * throughput, used for speedup comparisons because the max is
+     * noisy at short run lengths.
+     */
+    double meanCycles = 0;
+    std::uint64_t instructions = 0;
+    double ipc = 0;
+
+    std::vector<Cycle> appCycles;
+    std::vector<double> appIpc;
+
+    std::uint64_t l1Accesses = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t walks = 0;
+    double avgL2AccessLatency = 0;
+    double avgWalkLatency = 0;
+    double l2MissRate = 0;
+
+    double energyPj = 0;
+    double beyondL2Fraction = 0;
+
+    double fabricAvgLatency = 0; ///< NOCSTAR only
+    double fabricNoContention = 0; ///< NOCSTAR only
+
+    std::uint64_t shootdowns = 0;
+    double avgShootdownLatency = 0;
+
+    /**
+     * Fractions of L2 accesses in the paper's concurrency buckets:
+     * [1], [2-4], [5-8], [9-12], [13-16], [17-20], [21-24], [25-28],
+     * [29+] (Fig 5/6).
+     */
+    std::vector<double> concurrencyBuckets;
+    std::vector<double> sliceConcurrencyBuckets;
+};
+
+/**
+ * The simulated machine.
+ */
+class System : public stats::StatGroup
+{
+  public:
+    explicit System(const SystemConfig &config);
+    ~System() override;
+
+    /**
+     * Run until every thread has issued @p accesses_per_thread memory
+     * accesses.
+     */
+    RunResult run(std::uint64_t accesses_per_thread);
+
+    core::TlbOrganization &organization() { return *org_; }
+    mem::PageTable &pageTable() { return *pageTable_; }
+    EventQueue &queue() { return queue_; }
+    tlb::L1TlbGroup &l1Of(CoreId core) { return *l1s_.at(core); }
+    const SystemConfig &config() const { return config_; }
+
+    /** Bucket a concurrency Distribution into the paper's 9 bins. */
+    static std::vector<double>
+    paperBuckets(const stats::Distribution &dist);
+
+  private:
+    struct HwThread
+    {
+        unsigned app;
+        ContextId ctx;
+        CoreId core;
+        std::unique_ptr<workload::AddressSource> gen;
+        std::uint64_t accessesDone = 0;
+        /** Per-thread stream for hotspot redirection draws. */
+        std::unique_ptr<Random> hotspotRng;
+        std::uint64_t quota = 0;
+        std::uint64_t instructions = 0;
+        double cycleCarry = 0;
+        Cycle pendingStall = 0;
+        Cycle finishedAt = 0;
+        bool finished = false;
+    };
+
+    /** Preload steady-state resident translations (see system.cc). */
+    void prewarm();
+
+    /** Creation-order index of @p thread among its app's threads. */
+    unsigned threadIndexWithinApp(const HwThread &thread) const;
+
+    /** Issue one access for @p thread at the current cycle. */
+    void step(std::size_t thread_index);
+
+    /** Schedule the next step of @p thread at @p when. */
+    void scheduleStep(std::size_t thread_index, Cycle when);
+
+    /** Burst cost (instructions + data stalls) for one access. */
+    Cycle burstCycles(HwThread &thread);
+
+    Addr nextAddress(HwThread &thread);
+
+    void installContextSwitchEvent();
+    void installStormEvent();
+    void stormOp();
+
+    SystemConfig config_;
+    EventQueue queue_;
+    std::unique_ptr<mem::PageTable> pageTable_;
+    std::unique_ptr<mem::CacheModel> caches_;
+    std::vector<std::unique_ptr<mem::PageTableWalker>> walkers_;
+    std::vector<std::unique_ptr<tlb::L1TlbGroup>> l1s_;
+    energy::TranslationEnergyModel energy_;
+    std::unique_ptr<core::TlbOrganization> org_;
+    std::vector<HwThread> threads_;
+    std::vector<std::vector<std::size_t>> threadsOfCore_;
+    /** Loaded replay traces (one per app; own the record storage). */
+    std::vector<std::unique_ptr<workload::TraceFile>> traces_;
+    /** Capture sink when captureTracePath is set. */
+    std::unique_ptr<workload::TraceFile> capture_;
+    unsigned unfinished_ = 0;
+    Random rng_;
+
+    stats::Scalar l1Accesses_;
+    stats::Scalar l1Misses_;
+    stats::Scalar pollutionStalls_;
+
+    // Storm state.
+    std::uint64_t stormRegionCursor_ = 0;
+    bool stormPromote_ = true;
+};
+
+} // namespace nocstar::cpu
+
+#endif // NOCSTAR_CPU_SYSTEM_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Per-tile area / power report for the NOCSTAR interconnect components
+ * (paper Fig 9: place-and-routed tile in 28 nm TSMC, 0.5 ns clock).
+ */
+
+#ifndef NOCSTAR_ENERGY_AREA_HH
+#define NOCSTAR_ENERGY_AREA_HH
+
+#include <algorithm>
+#include <cstdint>
+
+#include "energy/sram_model.hh"
+
+namespace nocstar::energy
+{
+
+/** Power (mW) and area (mm^2) of one tile component. */
+struct ComponentBudget
+{
+    const char *name;
+    double powerMw;
+    double areaMm2;
+};
+
+/**
+ * Fig 9's published post-synthesis numbers plus derived ratios.
+ */
+class TileAreaReport
+{
+  public:
+    /** NOCSTAR latchless switch per tile. */
+    static constexpr ComponentBudget tileSwitch{"Switch", 0.43, 0.0022};
+    /** Four link arbiters per tile (N/S/E/W). */
+    static constexpr ComponentBudget arbiters{"4x Arbiters", 2.39, 0.0038};
+    /** The per-tile L2 TLB SRAM slice. */
+    static constexpr ComponentBudget sramTlb{"SRAM TLB", 10.91, 0.4646};
+
+    /** Interconnect area as a fraction of the tile's TLB SRAM area. */
+    static double
+    interconnectAreaFraction()
+    {
+        return (tileSwitch.areaMm2 + arbiters.areaMm2) / sramTlb.areaMm2;
+    }
+
+    /**
+     * Area-equivalent slice entries: shrink a @p private_entries private
+     * TLB so slice + interconnect fits the same budget (Table II's
+     * 1024 -> 920 normalization).
+     */
+    static std::uint64_t
+    areaEquivalentSliceEntries(std::uint64_t private_entries)
+    {
+        double tlb_area = SramModel::areaMm2(private_entries);
+        double noc_area = tileSwitch.areaMm2 + arbiters.areaMm2;
+        double per_entry = tlb_area / static_cast<double>(private_entries);
+        auto loss = static_cast<std::uint64_t>(noc_area / per_entry);
+        // The paper conservatively rounds the loss up to ~10%, then keeps
+        // the slice a whole number of 8-way sets (1024 -> 920).
+        std::uint64_t conservative = private_entries * 9 / 10;
+        std::uint64_t exact = private_entries - loss;
+        std::uint64_t entries = std::min(exact, conservative);
+        entries -= entries % 8;
+        return entries ? entries : 8;
+    }
+};
+
+} // namespace nocstar::energy
+
+#endif // NOCSTAR_ENERGY_AREA_HH

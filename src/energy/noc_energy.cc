@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Interconnect energy model implementation.
+ */
+
+#include "energy/noc_energy.hh"
+
+#include "energy/sram_model.hh"
+
+namespace nocstar::energy
+{
+
+MessageEnergy
+NocEnergyModel::message(NocStyle style, unsigned hops,
+                        std::uint64_t sram_entries)
+{
+    MessageEnergy e;
+    e.link = linkPjPerHop * hops;
+    e.sram = SramModel::accessEnergyPj(sram_entries);
+
+    switch (style) {
+      case NocStyle::MonolithicMesh:
+      case NocStyle::DistributedMesh:
+        e.switching = meshRouterPj * hops;
+        e.control = meshControlPjPerHop * hops;
+        break;
+      case NocStyle::Nocstar:
+        e.switching = nocstarSwitchPj * hops;
+        e.control = nocstarControlBasePj + nocstarControlPjPerHop * hops;
+        break;
+    }
+    return e;
+}
+
+} // namespace nocstar::energy

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Per-message interconnect energy model for the three shared-TLB
+ * interconnect styles, reproducing the component split of paper
+ * Fig 11(b): link / switch / control / SRAM.
+ *
+ * Constants are pJ per event at 28 nm, chosen so that the relative
+ * magnitudes match the figure: the monolithic design is dominated by its
+ * large SRAM; the distributed mesh pays buffered-router switch energy per
+ * hop; NOCSTAR pays almost nothing in the datapath muxes but slightly
+ * more control energy than a mesh because every link arbiter on the path
+ * is requested in parallel.
+ */
+
+#ifndef NOCSTAR_ENERGY_NOC_ENERGY_HH
+#define NOCSTAR_ENERGY_NOC_ENERGY_HH
+
+#include <cstdint>
+
+namespace nocstar::energy
+{
+
+/** Interconnect styles distinguished by the energy model. */
+enum class NocStyle
+{
+    MonolithicMesh, ///< banked monolithic TLB behind a multi-hop mesh
+    DistributedMesh, ///< per-tile slices behind a multi-hop mesh
+    Nocstar, ///< per-tile slices behind the circuit-switched fabric
+};
+
+/** Energy of one message broken into Fig 11(b)'s components (pJ). */
+struct MessageEnergy
+{
+    double link = 0;
+    double switching = 0;
+    double control = 0;
+    double sram = 0;
+
+    double total() const { return link + switching + control + sram; }
+};
+
+/**
+ * Computes per-message traversal + lookup energy.
+ */
+class NocEnergyModel
+{
+  public:
+    /** Wire energy per hop of link traversal (pJ / 128-bit message). */
+    static constexpr double linkPjPerHop = 1.5;
+    /** Buffered mesh router: buffer write/read + crossbar + allocators. */
+    static constexpr double meshRouterPj = 3.8;
+    /** NOCSTAR latchless switch: one mux stage, no buffering. */
+    static constexpr double nocstarSwitchPj = 0.7;
+    /** Mesh per-hop control (local route compute + switch allocation). */
+    static constexpr double meshControlPjPerHop = 0.5;
+    /** NOCSTAR per-link arbiter request/grant wires (parallel setup). */
+    static constexpr double nocstarControlPjPerHop = 1.3;
+    /** NOCSTAR fixed control cost (requester-side AND tree, retry). */
+    static constexpr double nocstarControlBasePj = 2.0;
+
+    /**
+     * Energy of one request/response message that traverses @p hops hops
+     * and performs one lookup in an SRAM array of @p sram_entries.
+     */
+    static MessageEnergy message(NocStyle style, unsigned hops,
+                                 std::uint64_t sram_entries);
+};
+
+} // namespace nocstar::energy
+
+#endif // NOCSTAR_ENERGY_NOC_ENERGY_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Analytic SRAM timing / energy / area model, calibrated to the paper's
+ * published 28 nm TSMC memory-compiler points.
+ *
+ * Calibration anchors (paper Fig 3, Fig 9):
+ *  - a 1536-entry L2 TLB array reads in 9 cycles at 2 GHz;
+ *  - a 32x1536-entry array reads in ~15 cycles;
+ *  - latency grows close to linearly in log2(entries) between those points;
+ *  - a per-tile TLB SRAM slice burns 10.91 mW in 0.4646 mm^2.
+ */
+
+#ifndef NOCSTAR_ENERGY_SRAM_MODEL_HH
+#define NOCSTAR_ENERGY_SRAM_MODEL_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace nocstar::energy
+{
+
+/**
+ * SRAM scaling model for TLB arrays.
+ */
+class SramModel
+{
+  public:
+    /** Entry count of the reference array (Intel Skylake private L2). */
+    static constexpr std::uint64_t refEntries = 1536;
+    /** Access latency of the reference array, cycles at 2 GHz. */
+    static constexpr double refLatency = 9.0;
+    /** Added cycles per doubling of entry count (fits the 32x point). */
+    static constexpr double latencyPerDoubling = 1.2;
+    /** Floor: even tiny arrays pay decode + sense + route overhead. */
+    static constexpr double minLatency = 6.0;
+
+    /**
+     * Access latency in whole cycles for an array of @p entries entries.
+     * Matches Fig 3: 0.5x -> ~8, 1x -> 9, 32x -> 15, 64x -> ~16.
+     */
+    static Cycle accessLatency(std::uint64_t entries);
+
+    /** Dynamic read/write energy in pJ for one access. */
+    static double accessEnergyPj(std::uint64_t entries);
+
+    /** Leakage power in mW for an array of @p entries entries. */
+    static double leakageMw(std::uint64_t entries);
+
+    /** Area in mm^2 (28 nm) for an array of @p entries entries. */
+    static double areaMm2(std::uint64_t entries);
+};
+
+} // namespace nocstar::energy
+
+#endif // NOCSTAR_ENERGY_SRAM_MODEL_HH

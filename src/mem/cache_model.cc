@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Walk-reference cache model implementation.
+ */
+
+#include "mem/cache_model.hh"
+
+#include "sim/logging.hh"
+
+namespace nocstar::mem
+{
+
+bool
+CacheModel::LineStore::probe(Addr line, Cycle now)
+{
+    auto it = lines.find(line);
+    if (it == lines.end())
+        return false;
+    if (ttl && now > it->second + ttl) {
+        // Aged out by application traffic; treat as a miss. The stale
+        // map entry is refreshed by the subsequent fill.
+        return false;
+    }
+    it->second = now;
+    return true;
+}
+
+bool
+CacheModel::LineStore::fill(Addr line, Cycle now)
+{
+    auto [it, inserted] = lines.emplace(line, now);
+    if (!inserted) {
+        it->second = now;
+        return false;
+    }
+    fifo.push_back(line);
+    // FIFO capacity eviction; lazily skip entries already re-filled.
+    while (lines.size() > maxLines && !fifo.empty()) {
+        Addr victim = fifo.front();
+        fifo.pop_front();
+        lines.erase(victim);
+    }
+    return true;
+}
+
+CacheModel::CacheModel(const std::string &name, unsigned num_cores,
+                       const CacheModelConfig &config,
+                       stats::StatGroup *parent)
+    : stats::StatGroup(name, parent),
+      l2Hits(this, "l2_hits", "walk refs serviced by a core L2"),
+      llcHits(this, "llc_hits", "walk refs serviced by the LLC"),
+      dramAccesses(this, "dram_accesses", "walk refs serviced by DRAM"),
+      foreignFillCount(this, "foreign_fills",
+                       "PTE fills into an L2 on behalf of another core"),
+      config_(config),
+      foreignFills_(num_cores, 0)
+{
+    if (num_cores == 0)
+        fatal("cache model needs at least one core");
+    l2_.resize(num_cores);
+    for (auto &store : l2_) {
+        store.maxLines = config.l2Lines;
+        store.ttl = config.l2RetentionCycles;
+    }
+    llc_.maxLines = config.llcLines;
+    llc_.ttl = config.llcRetentionCycles;
+}
+
+CacheAccessResult
+CacheModel::access(CoreId walk_core, CoreId requester_core, Addr line,
+                   Cycle now)
+{
+    if (walk_core >= l2_.size())
+        panic("cache access from unknown core ", walk_core);
+
+    CacheAccessResult result;
+    LineStore &l2 = l2_[walk_core];
+
+    if (l2.probe(line, now)) {
+        result.latency = config_.l2Latency;
+        result.service = energy::WalkService::L2Hit;
+        ++l2Hits;
+        return result;
+    }
+
+    if (llc_.probe(line, now)) {
+        result.latency = config_.llcLatency;
+        result.service = energy::WalkService::LlcHit;
+        ++llcHits;
+    } else {
+        result.latency = config_.dramLatency;
+        result.service = energy::WalkService::Dram;
+        ++dramAccesses;
+        llc_.fill(line, now);
+    }
+
+    // Fill path: the line lands in the walking core's L2 either way.
+    result.filledL2 = l2.fill(line, now);
+    if (result.filledL2 && walk_core != requester_core) {
+        foreignFills_[walk_core]++;
+        ++foreignFillCount;
+        if (foreignFillHook_)
+            foreignFillHook_(walk_core);
+    }
+    return result;
+}
+
+std::uint64_t
+CacheModel::foreignFills(CoreId core) const
+{
+    return core < foreignFills_.size() ? foreignFills_[core] : 0;
+}
+
+} // namespace nocstar::mem

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Functional page table implementation.
+ */
+
+#include "mem/page_table.hh"
+
+#include "sim/logging.hh"
+
+namespace nocstar::mem
+{
+
+namespace
+{
+
+/** splitmix64-style hash for deterministic region decisions. */
+std::uint64_t
+mix(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+PageTable::PageTable(double superpage_fraction, std::uint64_t seed)
+    : superpageFraction_(superpage_fraction), seed_(seed)
+{
+    if (superpage_fraction < 0.0 || superpage_fraction > 1.0)
+        fatal("superpage fraction must be within [0,1], got ",
+              superpage_fraction);
+}
+
+bool
+PageTable::regionWantsSuperpage(ContextId ctx, RegionKey key) const
+{
+    double fraction = superpageFraction_;
+    auto it = contextFraction_.find(ctx);
+    if (it != contextFraction_.end())
+        fraction = it->second;
+    if (fraction <= 0.0)
+        return false;
+    double u = static_cast<double>(mix(key ^ seed_) >> 11) * 0x1.0p-53;
+    return u < fraction;
+}
+
+const PageTable::Region &
+PageTable::regionFor(ContextId ctx, Addr vaddr)
+{
+    RegionKey key = regionKey(ctx, vaddr);
+    auto it = regions_.find(key);
+    if (it == regions_.end()) {
+        Region region{regionWantsSuperpage(ctx, key), nextFrame_++, 0};
+        it = regions_.emplace(key, region).first;
+    }
+    return it->second;
+}
+
+Translation
+PageTable::translate(ContextId ctx, Addr vaddr)
+{
+    const Region &region = regionFor(ctx, vaddr);
+    Translation result;
+    result.version = region.version;
+    if (region.superpage) {
+        result.size = PageSize::TwoMB;
+        result.ppn = region.frame;
+    } else {
+        result.size = PageSize::FourKB;
+        // 512 4 KB pages per 2 MB frame.
+        Addr offset_in_region =
+            (vaddr >> pageShift(PageSize::FourKB)) & 0x1ff;
+        result.ppn = (region.frame << 9) | offset_in_region;
+    }
+    return result;
+}
+
+std::vector<Addr>
+PageTable::walkAddresses(ContextId ctx, Addr vaddr) const
+{
+    // Synthesize stable, well-distributed page-table-entry line
+    // addresses from the VA's per-level indices. Adjacent virtual pages
+    // share upper-level entries and usually the same PTE cache line,
+    // exactly like a radix table.
+    std::vector<Addr> lines;
+    lines.reserve(4);
+
+    auto entry_line = [&](WalkLevel level, Addr table_id, Addr index) {
+        // 8-byte entries, 64-byte lines -> 8 entries per line.
+        Addr table_base = mix((static_cast<std::uint64_t>(ctx) << 3) ^
+                              (static_cast<Addr>(level) << 56) ^ table_id)
+                          & 0x0000fffffffff000ULL;
+        return table_base + ((index >> 3) << 6);
+    };
+
+    Addr pml4_idx = (vaddr >> 39) & 0x1ff;
+    Addr pdpt_idx = (vaddr >> 30) & 0x1ff;
+    Addr pd_idx = (vaddr >> 21) & 0x1ff;
+    Addr pt_idx = (vaddr >> 12) & 0x1ff;
+
+    lines.push_back(entry_line(WalkLevel::Pml4, 0, pml4_idx));
+    lines.push_back(entry_line(WalkLevel::Pdpt, pml4_idx, pdpt_idx));
+    lines.push_back(entry_line(WalkLevel::Pd, (pml4_idx << 9) | pdpt_idx,
+                               pd_idx));
+
+    // A 2 MB mapping terminates at the PDE.
+    auto it = regions_.find(regionKey(ctx, vaddr));
+    bool superpage = it != regions_.end()
+        ? it->second.superpage
+        : regionWantsSuperpage(ctx, regionKey(ctx, vaddr));
+    if (!superpage) {
+        lines.push_back(entry_line(
+            WalkLevel::Pt,
+            (pml4_idx << 18) | (pdpt_idx << 9) | pd_idx, pt_idx));
+    }
+    return lines;
+}
+
+Translation
+PageTable::remap(ContextId ctx, Addr vaddr)
+{
+    RegionKey key = regionKey(ctx, vaddr);
+    regionFor(ctx, vaddr); // ensure allocated
+    Region &region = regions_.find(key)->second;
+    region.frame = nextFrame_++;
+    ++region.version;
+    return translate(ctx, vaddr);
+}
+
+unsigned
+PageTable::setRegionSuperpage(ContextId ctx, Addr vaddr, bool promote)
+{
+    RegionKey key = regionKey(ctx, vaddr);
+    regionFor(ctx, vaddr); // ensure allocated
+    Region &region = regions_.find(key)->second;
+    if (region.superpage == promote)
+        return 0;
+    region.superpage = promote;
+    ++region.version;
+    // Promoting (or demoting) rewrites 512 leaf PTEs / one PDE; the
+    // paper's storm microbenchmark counts 512 invalidations per change.
+    return promote ? 512 : 1;
+}
+
+bool
+PageTable::isSuperpage(ContextId ctx, Addr vaddr) const
+{
+    auto it = regions_.find(regionKey(ctx, vaddr));
+    if (it != regions_.end())
+        return it->second.superpage;
+    return regionWantsSuperpage(ctx, regionKey(ctx, vaddr));
+}
+
+} // namespace nocstar::mem

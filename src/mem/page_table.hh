@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Functional x86-64-style page table with demand allocation and
+ * transparent 2 MB superpages.
+ *
+ * Virtual address space is carved into 2 MB-aligned regions. On first
+ * touch a region is deterministically backed either by one 2 MB
+ * superpage or by 512 4 KB pages, so a configurable fraction of the
+ * footprint is superpage-mapped (the paper reports Linux achieving
+ * 50-80 %). Physical pages come from a bump allocator.
+ *
+ * The table also produces the *walk reference addresses* (PML4E, PDPTE,
+ * PDE, PTE line addresses) that the cache model services, so walk
+ * latency is variable exactly as in the paper's simulations.
+ */
+
+#ifndef NOCSTAR_MEM_PAGE_TABLE_HH
+#define NOCSTAR_MEM_PAGE_TABLE_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace nocstar::mem
+{
+
+/** A resolved translation. */
+struct Translation
+{
+    PageNum ppn = 0; ///< physical page number in units of `size` pages
+    PageSize size = PageSize::FourKB;
+    /** Monotonic version; bumped on remap so stale TLB entries differ. */
+    std::uint32_t version = 0;
+};
+
+/** Page-walk levels, root first. */
+enum class WalkLevel : std::uint8_t
+{
+    Pml4 = 0,
+    Pdpt = 1,
+    Pd = 2,
+    Pt = 3,
+};
+
+/**
+ * Per-process (context) page tables behind one interface.
+ */
+class PageTable
+{
+  public:
+    /**
+     * @param superpage_fraction fraction of 2 MB regions backed by a
+     *        superpage when superpages are enabled (0 disables).
+     * @param seed determinism salt for region backing decisions.
+     */
+    explicit PageTable(double superpage_fraction = 0.0,
+                       std::uint64_t seed = 1);
+
+    /** Translate @p vaddr in @p ctx, allocating on first touch. */
+    Translation translate(ContextId ctx, Addr vaddr);
+
+    /**
+     * Walk reference line addresses for @p vaddr: 4 lines for a 4 KB
+     * mapping (PML4E..PTE), 3 for a 2 MB mapping (stops at the PDE).
+     */
+    std::vector<Addr> walkAddresses(ContextId ctx, Addr vaddr) const;
+
+    /**
+     * Remap the page containing @p vaddr to fresh physical backing,
+     * emulating an OS page migration / permission change; the caller is
+     * responsible for shooting down stale TLB entries.
+     * @return the new translation.
+     */
+    Translation remap(ContextId ctx, Addr vaddr);
+
+    /**
+     * Promote the region containing @p vaddr to a 2 MB superpage (or
+     * demote back to 4 KB pages if @p promote is false), as the paper's
+     * TLB-storm microbenchmark does in a loop.
+     * @return number of 4 KB translations invalidated (512 on change).
+     */
+    unsigned setRegionSuperpage(ContextId ctx, Addr vaddr, bool promote);
+
+    /** @return true if @p vaddr lies in a superpage-backed region. */
+    bool isSuperpage(ContextId ctx, Addr vaddr) const;
+
+    /**
+     * Override the superpage fraction for one context (multiprogrammed
+     * mixes have per-app THP behaviour). Affects regions not yet
+     * allocated.
+     */
+    void
+    setContextSuperpageFraction(ContextId ctx, double fraction)
+    {
+        contextFraction_[ctx] = fraction;
+    }
+
+    double superpageFraction() const { return superpageFraction_; }
+
+    /** Number of distinct 2 MB regions allocated so far. */
+    std::uint64_t regionsAllocated() const { return regions_.size(); }
+
+  private:
+    struct Region
+    {
+        bool superpage;
+        /** Physical 2 MB frame number backing this region. */
+        PageNum frame;
+        std::uint32_t version;
+    };
+
+    using RegionKey = std::uint64_t;
+
+    static RegionKey
+    regionKey(ContextId ctx, Addr vaddr)
+    {
+        return (static_cast<std::uint64_t>(ctx) << 44) ^
+               (vaddr >> pageShift(PageSize::TwoMB));
+    }
+
+    const Region &regionFor(ContextId ctx, Addr vaddr);
+    bool regionWantsSuperpage(ContextId ctx, RegionKey key) const;
+
+    double superpageFraction_;
+    std::uint64_t seed_;
+    PageNum nextFrame_ = 1; ///< bump allocator of 2 MB frames
+    std::unordered_map<RegionKey, Region> regions_;
+    std::unordered_map<ContextId, double> contextFraction_;
+};
+
+} // namespace nocstar::mem
+
+#endif // NOCSTAR_MEM_PAGE_TABLE_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Page-table walker implementation.
+ */
+
+#include "mem/page_walker.hh"
+
+namespace nocstar::mem
+{
+
+bool
+PageTableWalker::Psc::probe(std::uint64_t key)
+{
+    return entries.find(key) != entries.end();
+}
+
+void
+PageTableWalker::Psc::fill(std::uint64_t key, Cycle now)
+{
+    auto [it, inserted] = entries.emplace(key, now);
+    it->second = now;
+    if (!inserted)
+        return;
+    fifo.push_back(key);
+    while (entries.size() > maxEntries && !fifo.empty()) {
+        entries.erase(fifo.front());
+        fifo.pop_front();
+    }
+}
+
+PageTableWalker::PageTableWalker(const std::string &name, CoreId core,
+                                 PageTable &table, CacheModel &caches,
+                                 const WalkerConfig &config,
+                                 stats::StatGroup *parent)
+    : stats::StatGroup(name, parent),
+      walks(this, "walks", "page table walks performed"),
+      walkCycles(this, "walk_cycles", "cycles spent walking"),
+      queueCycles(this, "queue_cycles", "cycles walks waited for walker"),
+      core_(core), table_(table), caches_(caches), config_(config)
+{
+    for (auto &psc : psc_)
+        psc.maxEntries = config.pscEntriesPerLevel;
+}
+
+WalkResult
+PageTableWalker::walk(ContextId ctx, Addr vaddr, CoreId requester_core,
+                      Cycle now)
+{
+    WalkResult result;
+    result.translation = table_.translate(ctx, vaddr);
+
+    Cycle start = std::max(now, busyUntil_);
+    result.queueDelay = start - now;
+
+    if (config_.fixedLatency) {
+        result.walkLatency = config_.fixedLatency;
+        // Count one LLC-class reference so the energy model charges
+        // fixed-mode walks something plausible.
+        result.llcRefs = 1;
+    } else {
+        Cycle latency = 0;
+        std::vector<Addr> lines = table_.walkAddresses(ctx, vaddr);
+
+        // Upper levels (all but the leaf) may hit the PSCs.
+        std::size_t leaf = lines.size() - 1;
+        for (std::size_t level = 0; level < lines.size(); ++level) {
+            bool upper = level < leaf && level < 3;
+            std::uint64_t psc_key =
+                (static_cast<std::uint64_t>(ctx) << 48) ^
+                (vaddr >> (39 - 9 * level));
+            if (upper && psc_[level].probe(psc_key)) {
+                latency += config_.pscHitLatency;
+                ++result.pscHits;
+                continue;
+            }
+            CacheAccessResult ref = caches_.access(
+                core_, requester_core, lines[level], start + latency);
+            latency += ref.latency;
+            switch (ref.service) {
+              case energy::WalkService::L2Hit: ++result.l2Refs; break;
+              case energy::WalkService::LlcHit: ++result.llcRefs; break;
+              case energy::WalkService::Dram: ++result.dramRefs; break;
+              default: break;
+            }
+            if (upper)
+                psc_[level].fill(psc_key, start + latency);
+        }
+        result.walkLatency = latency;
+    }
+
+    busyUntil_ = start + result.walkLatency;
+    ++walks;
+    walkCycles += static_cast<double>(result.walkLatency);
+    queueCycles += static_cast<double>(result.queueDelay);
+    return result;
+}
+
+} // namespace nocstar::mem

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Table I design-space evaluation.
+ *
+ * Modelling assumptions (documented so the numbers are reproducible):
+ *  - 128-bit translation packets; "wide" designs carry one per flit,
+ *    "narrow" designs use 32-bit links (serialization Ts = 4).
+ *  - tile pitch 1 mm; wire area/power proportional to wire-mm x width.
+ *  - buffered routers cost 4 flit-buffers per port plus a crossbar that
+ *    grows quadratically in radix; NOCSTAR switches are bufferless
+ *    muxes; the bus has no routers at all.
+ *  - saturation throughput from bisection-channel counts under uniform
+ *    random traffic (half the traffic crosses the bisection).
+ */
+
+#include "noc/design_space.hh"
+
+#include <cmath>
+
+namespace nocstar::noc
+{
+
+namespace
+{
+
+constexpr double packetBits = 128.0;
+constexpr double wideLinkBits = 128.0;
+constexpr double narrowLinkBits = 32.0;
+constexpr double buffersPerPort = 4.0;
+
+/** Crossbar cost ~ radix^2 x width. */
+double
+crossbarCost(double radix, double bits)
+{
+    return radix * radix * bits;
+}
+
+} // namespace
+
+DesignSpace::DesignSpace(unsigned cores, unsigned hpc_max)
+    : topo_(GridTopology::forCores(cores)), hpcMax_(hpc_max)
+{}
+
+NocFigures
+DesignSpace::figuresFor(NocDesign design) const
+{
+    const double n = topo_.numTiles();
+    const double w = topo_.width();
+    const double h = topo_.height();
+    const double avg_hops = topo_.averageHops();
+
+    NocFigures f{};
+    f.design = design;
+
+    switch (design) {
+      case NocDesign::Bus: {
+        f.name = "Bus";
+        // Grant + full-chip broadcast; wire spans the whole floorplan
+        // but a modern repeated wire still crosses it in ~1-2 cycles.
+        f.avgLatency = 3.0;
+        // One transaction chip-wide per cycle.
+        f.saturationThroughput = 1.0 / n;
+        double wire_mm = (w + h) * 1.0; // spine + ribs
+        f.areaProxy = wire_mm * wideLinkBits;
+        // Every traversal toggles the full broadcast wire.
+        f.powerProxy = wire_mm * wideLinkBits;
+        break;
+      }
+      case NocDesign::Mesh: {
+        f.name = "Mesh";
+        f.avgLatency = 2.0 * avg_hops; // tr + tw per hop
+        // Bisection: h vertical channel pairs across the middle.
+        f.saturationThroughput = 2.0 * h / (0.5 * n);
+        double wire_mm = topo_.numLinks() * 1.0;
+        double buffers = n * 5 * buffersPerPort * wideLinkBits;
+        double xbar = n * crossbarCost(5, wideLinkBits);
+        f.areaProxy = wire_mm * wideLinkBits + buffers + xbar;
+        f.powerProxy = avg_hops * (wideLinkBits + 2 * wideLinkBits);
+        break;
+      }
+      case NocDesign::FbflyWide:
+      case NocDesign::FbflyNarrow: {
+        bool wide = design == NocDesign::FbflyWide;
+        f.name = wide ? "FBFly-wide" : "FBFly-narrow";
+        double bits = wide ? wideLinkBits : narrowLinkBits;
+        double ts = packetBits / bits; // serialization
+        // All-to-all per row and column: <= 2 hops.
+        f.avgLatency = 2.0 * 2.0 + (ts - 1.0);
+        double radix = (w - 1) + (h - 1) + 1;
+        // Many more channels across the bisection.
+        f.saturationThroughput =
+            std::min(1.0, 2.0 * (w / 2.0) * (w / 2.0) * h * bits /
+                              (0.5 * n * packetBits));
+        double wire_mm = n * ((w - 1) + (h - 1)) * 1.5; // long links
+        double buffers = n * radix * buffersPerPort * bits;
+        double xbar = n * crossbarCost(radix, bits);
+        f.areaProxy = wire_mm * bits + buffers + xbar;
+        f.powerProxy = 2.0 * (bits * 3.0 + 2 * bits) * ts +
+                       0.02 * (buffers + xbar) / n;
+        break;
+      }
+      case NocDesign::Smart: {
+        f.name = "SMART";
+        double segs = 2.0; // X then Y
+        f.avgLatency = segs +
+            std::ceil(avg_hops / static_cast<double>(hpcMax_));
+        f.saturationThroughput = 2.0 * h / (0.5 * n);
+        double wire_mm = topo_.numLinks() * 1.0;
+        double buffers = n * 5 * buffersPerPort * wideLinkBits;
+        double xbar = n * crossbarCost(5, wideLinkBits);
+        double ssr_wires = n * 4 * hpcMax_; // bypass control fan-out
+        f.areaProxy = wire_mm * wideLinkBits + buffers + xbar + ssr_wires;
+        f.powerProxy = avg_hops * (wideLinkBits + 0.3 * wideLinkBits) +
+                       ssr_wires * 0.05;
+        break;
+      }
+      case NocDesign::Nocstar: {
+        f.name = "NOCSTAR";
+        f.avgLatency = 2.0; // 1-cycle setup + 1-cycle traversal
+        f.saturationThroughput = 2.0 * h / (0.5 * n);
+        double wire_mm = topo_.numLinks() * 1.0;
+        // Bufferless mux switches; small arbiters; request/grant wires.
+        double muxes = n * 4 * wideLinkBits * 0.15;
+        double arb_wires = n * (w - 1 + (h - 1) * w) * 0.02;
+        f.areaProxy = wire_mm * wideLinkBits + muxes + arb_wires;
+        f.powerProxy = avg_hops * (wideLinkBits + 0.1 * wideLinkBits) +
+                       arb_wires * 0.1;
+        break;
+      }
+    }
+    return f;
+}
+
+const char *
+DesignSpace::ratingString(Rating r)
+{
+    switch (r) {
+      case Rating::Good: return "good";
+      case Rating::VeryGood: return "good++";
+      case Rating::Bad: return "bad";
+      case Rating::VeryBad: return "bad--";
+    }
+    return "?";
+}
+
+std::vector<NocFigures>
+DesignSpace::evaluate() const
+{
+    std::vector<NocFigures> all;
+    for (NocDesign d : {NocDesign::Bus, NocDesign::Mesh,
+                        NocDesign::FbflyWide, NocDesign::FbflyNarrow,
+                        NocDesign::Smart, NocDesign::Nocstar})
+        all.push_back(figuresFor(d));
+
+    // Rate against the mesh baseline (the paper's implicit reference).
+    const NocFigures &mesh = all[1];
+    for (NocFigures &f : all) {
+        f.latencyRating = f.avgLatency <= 0.5 * mesh.avgLatency
+            ? Rating::Good : Rating::Bad;
+        if (f.design == NocDesign::FbflyWide)
+            f.bandwidthRating = Rating::VeryGood;
+        else
+            f.bandwidthRating =
+                f.saturationThroughput >= 0.5 * mesh.saturationThroughput
+                ? Rating::Good : Rating::Bad;
+        if (f.design == NocDesign::FbflyWide) {
+            f.areaRating = Rating::VeryBad;
+            f.powerRating = Rating::VeryBad;
+        } else {
+            f.areaRating = f.areaProxy <= 0.6 * mesh.areaProxy
+                ? Rating::Good : Rating::Bad;
+            f.powerRating = f.powerProxy <= 0.6 * mesh.powerProxy
+                ? Rating::Good : Rating::Bad;
+        }
+    }
+    return all;
+}
+
+} // namespace nocstar::noc

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Quantitative back-of-envelope comparison of TLB interconnect design
+ * choices, reproducing paper Table I's latency / bandwidth / area /
+ * power matrix for Bus, Mesh, FBFly (wide and narrow), SMART and
+ * NOCSTAR.
+ *
+ * Each candidate is reduced to four scalar figures of merit for an
+ * N-tile chip, then scored against thresholds; the resulting good /
+ * bad ratings reproduce Table I's pattern.
+ */
+
+#ifndef NOCSTAR_NOC_DESIGN_SPACE_HH
+#define NOCSTAR_NOC_DESIGN_SPACE_HH
+
+#include <string>
+#include <vector>
+
+#include "noc/topology.hh"
+
+namespace nocstar::noc
+{
+
+/** Candidate interconnect styles of Table I. */
+enum class NocDesign
+{
+    Bus,
+    Mesh,
+    FbflyWide,
+    FbflyNarrow,
+    Smart,
+    Nocstar,
+};
+
+/** Three-level rating mirroring the paper's check/cross notation. */
+enum class Rating
+{
+    Good, ///< single check
+    VeryGood, ///< double check (FBFly-wide bandwidth)
+    Bad, ///< single cross
+    VeryBad, ///< double cross (FBFly-wide area/power)
+};
+
+/** Raw figures of merit for one design. */
+struct NocFigures
+{
+    NocDesign design;
+    std::string name;
+    /** Average unloaded request latency, cycles. */
+    double avgLatency;
+    /** Saturation throughput, accepted packets/node/cycle. */
+    double saturationThroughput;
+    /** Area proxy: wire-mm of links + buffer bits + crossbar ports. */
+    double areaProxy;
+    /** Power proxy at the evaluation injection rate. */
+    double powerProxy;
+
+    Rating latencyRating;
+    Rating bandwidthRating;
+    Rating areaRating;
+    Rating powerRating;
+};
+
+/**
+ * Computes the Table I matrix for a given tile count.
+ */
+class DesignSpace
+{
+  public:
+    /**
+     * @param cores number of tiles.
+     * @param hpc_max SMART / NOCSTAR hops-per-cycle limit.
+     */
+    explicit DesignSpace(unsigned cores, unsigned hpc_max = 16);
+
+    /** Figures of merit for all six designs, in Table I order. */
+    std::vector<NocFigures> evaluate() const;
+
+    static const char *ratingString(Rating r);
+
+  private:
+    NocFigures figuresFor(NocDesign design) const;
+
+    GridTopology topo_;
+    unsigned hpcMax_;
+};
+
+} // namespace nocstar::noc
+
+#endif // NOCSTAR_NOC_DESIGN_SPACE_HH

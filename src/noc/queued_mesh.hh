@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Contention-tracking mesh for the synthetic-traffic study (paper
+ * Fig 11(c)): each directed link carries one packet per cycle; a packet
+ * advances hop by hop paying router + wire delay and waits whenever the
+ * next link is occupied. This captures the queueing growth a buffered
+ * multi-hop mesh exhibits as injection rate rises.
+ */
+
+#ifndef NOCSTAR_NOC_QUEUED_MESH_HH
+#define NOCSTAR_NOC_QUEUED_MESH_HH
+
+#include <vector>
+
+#include "noc/network.hh"
+
+namespace nocstar::noc
+{
+
+/**
+ * Mesh with per-link serialization.
+ */
+class QueuedMeshNetwork : public Network
+{
+  public:
+    QueuedMeshNetwork(const std::string &name, const GridTopology &topo,
+                      stats::StatGroup *parent = nullptr,
+                      Cycle router_delay = 1, Cycle wire_delay = 1)
+        : Network(name, topo, parent),
+          routerDelay_(router_delay), wireDelay_(wire_delay),
+          linkFree_(topo.linkIndexSpace(), 0)
+    {}
+
+  protected:
+    Cycle
+    latency(CoreId src, CoreId dst, Cycle now) override
+    {
+        Cycle t = now;
+        for (const LinkId &link : topo_.xyPath(src, dst)) {
+            t += routerDelay_; // route compute / switch allocation
+            Cycle &free_at = linkFree_[link.flatten()];
+            if (free_at > t)
+                t = free_at; // wait for the link
+            free_at = t + wireDelay_; // occupy for one flit time
+            t += wireDelay_;
+        }
+        return t - now;
+    }
+
+  private:
+    Cycle routerDelay_;
+    Cycle wireDelay_;
+    std::vector<Cycle> linkFree_;
+};
+
+} // namespace nocstar::noc
+
+#endif // NOCSTAR_NOC_QUEUED_MESH_HH

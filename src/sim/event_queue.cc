@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Event queue implementation.
+ */
+
+#include "sim/event_queue.hh"
+
+#include <algorithm>
+
+namespace nocstar
+{
+
+Event::~Event()
+{
+    if (_scheduled)
+        panic("event destroyed while still scheduled");
+}
+
+EventQueue::~EventQueue()
+{
+    // Owned lambda events may still be pending at teardown; detach them
+    // so their destructors do not trip the scheduled() assertion.
+    for (Event *ev : _owned) {
+        ev->_scheduled = false;
+        delete ev;
+    }
+}
+
+void
+EventQueue::schedule(Event *ev, Cycle when)
+{
+    if (ev->_scheduled)
+        panic("double schedule of event already queued for cycle ",
+              ev->_when);
+    if (when < _curCycle)
+        panic("scheduling event in the past: ", when, " < ", _curCycle);
+
+    ev->_scheduled = true;
+    ev->_when = when;
+    ++ev->_generation;
+    _queue.push(Record{when, ev->priority(), _nextSeq++, ev->_generation,
+                       ev});
+    ++_numScheduled;
+}
+
+void
+EventQueue::deschedule(Event *ev)
+{
+    if (!ev->_scheduled)
+        panic("deschedule of unscheduled event");
+    // Lazy removal: bump the generation so the queued record is stale.
+    ev->_scheduled = false;
+    ev->_when = invalidCycle;
+    ++ev->_generation;
+    --_numScheduled;
+}
+
+void
+EventQueue::reschedule(Event *ev, Cycle when)
+{
+    if (ev->_scheduled)
+        deschedule(ev);
+    schedule(ev, when);
+}
+
+bool
+EventQueue::serviceOne()
+{
+    Record rec = _queue.top();
+    _queue.pop();
+
+    Event *ev = rec.event;
+    if (!ev->_scheduled || ev->_generation != rec.generation)
+        return false; // stale record from a deschedule/reschedule
+
+    _curCycle = rec.when;
+    ev->_scheduled = false;
+    ev->_when = invalidCycle;
+    --_numScheduled;
+    ev->process();
+    return true;
+}
+
+std::uint64_t
+EventQueue::run(Cycle limit)
+{
+    std::uint64_t processed = 0;
+    while (!_queue.empty()) {
+        if (_queue.top().when > limit)
+            break;
+        if (serviceOne())
+            ++processed;
+    }
+    // Advance the clock to the limit if we stopped on it and work remains.
+    if (limit != invalidCycle && !_queue.empty() && _curCycle < limit)
+        _curCycle = limit;
+    return processed;
+}
+
+void
+EventQueue::runOneCycle()
+{
+    if (_queue.empty())
+        return;
+    Cycle head = _queue.top().when;
+    while (!_queue.empty() && _queue.top().when == head)
+        serviceOne();
+}
+
+void
+EventQueue::scheduleLambda(Cycle when, std::function<void()> fn,
+                           Event::Priority prio)
+{
+    auto *ev = new LambdaEvent(std::move(fn), prio);
+    _owned.push_back(ev);
+    schedule(ev, when);
+
+    // Opportunistically reap owned events that have already run to keep
+    // the vector from growing without bound in long simulations.
+    if (_owned.size() > 4096) {
+        auto it = std::partition(_owned.begin(), _owned.end(),
+                                 [](Event *e) { return e->scheduled(); });
+        for (auto dead = it; dead != _owned.end(); ++dead)
+            delete *dead;
+        _owned.erase(it, _owned.end());
+    }
+}
+
+} // namespace nocstar

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * A minimal deterministic discrete-event kernel, cycle granular.
+ *
+ * Events are intrusive (gem5-style): an Event object owns its scheduling
+ * state and is processed at most once per schedule() call. Determinism is
+ * guaranteed by a FIFO tiebreak among events scheduled for the same cycle
+ * with equal priority.
+ */
+
+#ifndef NOCSTAR_SIM_EVENT_QUEUE_HH
+#define NOCSTAR_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace nocstar
+{
+
+class EventQueue;
+
+/**
+ * Base class for schedulable work. Derive and implement process(), or use
+ * LambdaEvent for one-off callbacks.
+ */
+class Event
+{
+  public:
+    /** Lower value == processed earlier within the same cycle. */
+    using Priority = std::int32_t;
+
+    static constexpr Priority defaultPriority = 0;
+    /** Arbitration events run after all same-cycle requests are posted. */
+    static constexpr Priority arbitrationPriority = 100;
+    /** Stat-dump style events run last in a cycle. */
+    static constexpr Priority lastPriority = 1000;
+
+    explicit Event(Priority prio = defaultPriority) : _priority(prio) {}
+    virtual ~Event();
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Callback invoked when the event's cycle is reached. */
+    virtual void process() = 0;
+
+    /** @return true while the event sits in a queue awaiting process(). */
+    bool scheduled() const { return _scheduled; }
+
+    /** @return cycle this event is scheduled for (invalidCycle if none). */
+    Cycle when() const { return _when; }
+
+    Priority priority() const { return _priority; }
+
+  private:
+    friend class EventQueue;
+
+    Priority _priority;
+    Cycle _when = invalidCycle;
+    bool _scheduled = false;
+    /** Generation counter so stale queue records are ignored. */
+    std::uint64_t _generation = 0;
+};
+
+/** Convenience event wrapping a std::function. */
+class LambdaEvent : public Event
+{
+  public:
+    explicit LambdaEvent(std::function<void()> fn,
+                         Priority prio = defaultPriority)
+        : Event(prio), fn_(std::move(fn))
+    {}
+
+    void process() override { fn_(); }
+
+  private:
+    std::function<void()> fn_;
+};
+
+/**
+ * The global clock and pending-event store for one simulation.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    /** Current simulation cycle. */
+    Cycle curCycle() const { return _curCycle; }
+
+    /** Schedule @p ev for absolute cycle @p when (>= curCycle()). */
+    void schedule(Event *ev, Cycle when);
+
+    /** Remove @p ev from the queue; no-op fields reset. */
+    void deschedule(Event *ev);
+
+    /** Deschedule if needed, then schedule at @p when. */
+    void reschedule(Event *ev, Cycle when);
+
+    /** @return true if no events remain. */
+    bool empty() const { return _numScheduled == 0; }
+
+    /** Number of scheduled (live) events. */
+    std::size_t size() const { return _numScheduled; }
+
+    /**
+     * Run until the queue drains or the cycle limit is passed.
+     * @param limit stop before processing events beyond this cycle.
+     * @return number of events processed.
+     */
+    std::uint64_t run(Cycle limit = invalidCycle);
+
+    /** Process events for the current head cycle only. */
+    void runOneCycle();
+
+    /**
+     * Schedule a one-shot callback; the queue owns the event's lifetime.
+     */
+    void scheduleLambda(Cycle when, std::function<void()> fn,
+                        Event::Priority prio = Event::defaultPriority);
+
+  private:
+    struct Record
+    {
+        Cycle when;
+        Event::Priority priority;
+        std::uint64_t seq;
+        std::uint64_t generation;
+        Event *event;
+
+        bool
+        operator>(const Record &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            if (priority != other.priority)
+                return priority > other.priority;
+            return seq > other.seq;
+        }
+    };
+
+    /** Pop and process the single front event. @return true if live. */
+    bool serviceOne();
+
+    std::priority_queue<Record, std::vector<Record>, std::greater<>> _queue;
+    Cycle _curCycle = 0;
+    std::uint64_t _nextSeq = 0;
+    std::size_t _numScheduled = 0;
+    std::vector<Event *> _owned;
+
+  public:
+    ~EventQueue();
+};
+
+} // namespace nocstar
+
+#endif // NOCSTAR_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Error and status reporting helpers, in the spirit of gem5's
+ * base/logging.hh. panic() flags simulator bugs; fatal() flags user
+ * configuration errors.
+ */
+
+#ifndef NOCSTAR_SIM_LOGGING_HH
+#define NOCSTAR_SIM_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace nocstar
+{
+
+/** Concatenate any streamable arguments into a string. */
+template <typename... Args>
+std::string
+strCat(const Args &...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+/** Thrown by panic(); should never escape in a correct simulator. */
+class PanicError : public std::logic_error
+{
+  public:
+    using std::logic_error::logic_error;
+};
+
+/** Thrown by fatal(); indicates an invalid user configuration. */
+class FatalError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Report an internal simulator bug and abort via exception so tests can
+ * assert on misuse.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    throw PanicError(strCat("panic: ", args...));
+}
+
+/** Report an unrecoverable user/configuration error. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    throw FatalError(strCat("fatal: ", args...));
+}
+
+/** Warn about questionable but survivable conditions. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    std::cerr << "warn: " << strCat(args...) << "\n";
+}
+
+/** Informational status output. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    std::cout << "info: " << strCat(args...) << "\n";
+}
+
+} // namespace nocstar
+
+#endif // NOCSTAR_SIM_LOGGING_HH

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Statistics package implementation.
+ */
+
+#include "sim/stats.hh"
+
+#include <cmath>
+#include <iomanip>
+
+namespace nocstar::stats
+{
+
+Stat::Stat(StatGroup *parent, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    if (!parent)
+        panic("stat '", name_, "' constructed without a parent group");
+    parent->addStat(this);
+}
+
+namespace
+{
+
+void
+emitLine(std::ostream &os, const std::string &prefix,
+         const std::string &name, double value, const std::string &desc)
+{
+    os << std::left << std::setw(44) << (prefix + name) << " "
+       << std::setw(16) << std::setprecision(8) << value
+       << " # " << desc << "\n";
+}
+
+} // namespace
+
+void
+Scalar::dump(std::ostream &os, const std::string &prefix) const
+{
+    emitLine(os, prefix, name(), value_, desc());
+}
+
+double
+Vector::total() const
+{
+    double sum = 0;
+    for (double v : values_)
+        sum += v;
+    return sum;
+}
+
+void
+Vector::dump(std::ostream &os, const std::string &prefix) const
+{
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+        emitLine(os, prefix, name() + "[" + std::to_string(i) + "]",
+                 values_[i], desc());
+    }
+    emitLine(os, prefix, name() + ".total", total(), desc());
+}
+
+Distribution::Distribution(StatGroup *parent, std::string name,
+                           std::string desc, double min, double max,
+                           double bucket_size)
+    : Stat(parent, std::move(name), std::move(desc)),
+      min_(min), max_(max), bucketSize_(bucket_size)
+{
+    if (max <= min || bucket_size <= 0)
+        panic("bad distribution bounds for ", this->name());
+    auto buckets = static_cast<std::size_t>(
+        std::ceil((max - min) / bucket_size));
+    buckets_.assign(buckets, 0);
+}
+
+void
+Distribution::sample(double v, std::uint64_t count)
+{
+    if (samples_ == 0) {
+        minSample_ = v;
+        maxSample_ = v;
+    } else {
+        minSample_ = std::min(minSample_, v);
+        maxSample_ = std::max(maxSample_, v);
+    }
+    samples_ += count;
+    sum_ += v * count;
+
+    if (v < min_) {
+        underflow_ += count;
+    } else if (v >= max_) {
+        overflow_ += count;
+    } else {
+        auto idx = static_cast<std::size_t>((v - min_) / bucketSize_);
+        buckets_[std::min(idx, buckets_.size() - 1)] += count;
+    }
+}
+
+void
+Distribution::dump(std::ostream &os, const std::string &prefix) const
+{
+    emitLine(os, prefix, name() + ".samples",
+             static_cast<double>(samples_), desc());
+    emitLine(os, prefix, name() + ".mean", mean(), desc());
+    emitLine(os, prefix, name() + ".min", minSample_, desc());
+    emitLine(os, prefix, name() + ".max", maxSample_, desc());
+    if (underflow_)
+        emitLine(os, prefix, name() + ".underflow",
+                 static_cast<double>(underflow_), desc());
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (!buckets_[i])
+            continue;
+        double lo = min_ + bucketSize_ * static_cast<double>(i);
+        emitLine(os, prefix,
+                 name() + ".bucket[" + std::to_string(lo) + "]",
+                 static_cast<double>(buckets_[i]), desc());
+    }
+    if (overflow_)
+        emitLine(os, prefix, name() + ".overflow",
+                 static_cast<double>(overflow_), desc());
+}
+
+void
+Distribution::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    underflow_ = overflow_ = samples_ = 0;
+    sum_ = minSample_ = maxSample_ = 0;
+}
+
+void
+Formula::dump(std::ostream &os, const std::string &prefix) const
+{
+    emitLine(os, prefix, name(), fn_(), desc());
+}
+
+StatGroup::StatGroup(std::string name, StatGroup *parent)
+    : name_(std::move(name)), parent_(parent)
+{
+    if (parent_)
+        parent_->addChild(this);
+}
+
+StatGroup::~StatGroup()
+{
+    if (parent_)
+        parent_->removeChild(this);
+}
+
+void
+StatGroup::addStat(Stat *stat)
+{
+    auto [it, inserted] = statsByName_.emplace(stat->name(), stat);
+    if (!inserted)
+        panic("duplicate stat name '", stat->name(), "' in group ", name_);
+    statList_.push_back(stat);
+}
+
+void
+StatGroup::addChild(StatGroup *child)
+{
+    children_.push_back(child);
+}
+
+void
+StatGroup::removeChild(StatGroup *child)
+{
+    auto it = std::find(children_.begin(), children_.end(), child);
+    if (it != children_.end())
+        children_.erase(it);
+}
+
+void
+StatGroup::dumpAll(std::ostream &os, const std::string &prefix) const
+{
+    std::string path = prefix.empty() ? name_ + "." : prefix + name_ + ".";
+    for (const Stat *stat : statList_)
+        stat->dump(os, path);
+    for (const StatGroup *child : children_)
+        child->dumpAll(os, path);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (Stat *stat : statList_)
+        stat->reset();
+    for (StatGroup *child : children_)
+        child->resetAll();
+}
+
+const Stat *
+StatGroup::find(const std::string &name) const
+{
+    auto it = statsByName_.find(name);
+    return it == statsByName_.end() ? nullptr : it->second;
+}
+
+} // namespace nocstar::stats

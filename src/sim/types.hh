@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef NOCSTAR_SIM_TYPES_HH
+#define NOCSTAR_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace nocstar
+{
+
+/** Simulation time, measured in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** A virtual or physical byte address. */
+using Addr = std::uint64_t;
+
+/** A virtual or physical page number (address >> page shift). */
+using PageNum = std::uint64_t;
+
+/** Identifier of a core / tile (also indexes TLB slices). */
+using CoreId = std::uint32_t;
+
+/** Identifier of a hardware thread within a core. */
+using ThreadId = std::uint32_t;
+
+/** Address-space / process context identifier (like x86 PCID). */
+using ContextId = std::uint32_t;
+
+/** Sentinel for "no cycle scheduled". */
+constexpr Cycle invalidCycle = std::numeric_limits<Cycle>::max();
+
+/** Sentinel core id. */
+constexpr CoreId invalidCore = std::numeric_limits<CoreId>::max();
+
+/** Page sizes supported by the modelled x86-64 MMU. */
+enum class PageSize : std::uint8_t
+{
+    FourKB,
+    TwoMB,
+    OneGB,
+};
+
+/** Number of distinct page sizes. */
+constexpr int numPageSizes = 3;
+
+/** @return log2 of the byte size of @p size pages. */
+constexpr int
+pageShift(PageSize size)
+{
+    switch (size) {
+      case PageSize::FourKB: return 12;
+      case PageSize::TwoMB: return 21;
+      case PageSize::OneGB: return 30;
+    }
+    return 12;
+}
+
+/** @return byte size of a page of the given size class. */
+constexpr Addr
+pageBytes(PageSize size)
+{
+    return Addr{1} << pageShift(size);
+}
+
+/** @return the virtual page number of @p addr for pages of @p size. */
+constexpr PageNum
+pageNumber(Addr addr, PageSize size)
+{
+    return addr >> pageShift(size);
+}
+
+} // namespace nocstar
+
+#endif // NOCSTAR_SIM_TYPES_HH

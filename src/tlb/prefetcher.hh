@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Sequential TLB prefetcher: on a demand L2 TLB miss for virtual page V,
+ * queue prefetches for V +- 1..distance (Table III; follows the original
+ * shared-TLB paper's stride prefetching study, where +-2 was best and
+ * more aggressive distances polluted the TLB).
+ */
+
+#ifndef NOCSTAR_TLB_PREFETCHER_HH
+#define NOCSTAR_TLB_PREFETCHER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace nocstar::tlb
+{
+
+/** Emits the prefetch candidate VPNs around a missed page. */
+class TlbPrefetcher
+{
+  public:
+    /** @param distance 0 disables; N prefetches +-1..N pages. */
+    explicit TlbPrefetcher(unsigned distance = 0) : distance_(distance) {}
+
+    unsigned distance() const { return distance_; }
+
+    /**
+     * Candidate pages around @p vpn, nearest first, alternating +/-.
+     * Never emits the missed page itself; clamps at VPN 0.
+     */
+    std::vector<PageNum>
+    candidates(PageNum vpn) const
+    {
+        std::vector<PageNum> result;
+        result.reserve(2 * distance_);
+        for (unsigned d = 1; d <= distance_; ++d) {
+            result.push_back(vpn + d);
+            if (vpn >= d)
+                result.push_back(vpn - d);
+        }
+        return result;
+    }
+
+  private:
+    unsigned distance_;
+};
+
+} // namespace nocstar::tlb
+
+#endif // NOCSTAR_TLB_PREFETCHER_HH

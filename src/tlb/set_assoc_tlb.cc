@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Set-associative TLB implementation.
+ */
+
+#include "tlb/set_assoc_tlb.hh"
+
+#include "sim/logging.hh"
+
+namespace nocstar::tlb
+{
+
+SetAssocTlb::SetAssocTlb(const std::string &name, std::uint32_t entries,
+                         std::uint32_t assoc, stats::StatGroup *parent)
+    : stats::StatGroup(name, parent),
+      hits(this, "hits", "demand lookups that hit"),
+      misses(this, "misses", "demand lookups that missed"),
+      insertions(this, "insertions", "entries written"),
+      evictions(this, "evictions", "valid entries displaced by inserts"),
+      invalidations(this, "invalidations", "entries removed by shootdown"),
+      prefetchHits(this, "prefetch_hits",
+                   "demand hits on prefetched entries")
+{
+    if (entries == 0 || assoc == 0)
+        fatal("TLB '", name, "' must have entries and associativity");
+    if (assoc > entries)
+        assoc = entries;
+    if (entries % assoc != 0)
+        fatal("TLB '", name, "': ", entries,
+              " entries not divisible by associativity ", assoc);
+    numEntries_ = entries;
+    assoc_ = assoc;
+    numSets_ = entries / assoc;
+    entries_.resize(entries);
+}
+
+std::uint32_t
+SetAssocTlb::setIndex(PageNum vpn, PageSize size) const
+{
+    // Hash-mixed index (xor-folded multiplicative hash of the VPN plus
+    // a page-size salt). Plain modulo indexing would leave most sets of
+    // a shared slice unused, because the slice-interleaving already
+    // fixed the low VPN bits: every VPN homed on slice s satisfies
+    // vpn % numCores == s, so vpn % numSets could only reach
+    // numSets / numCores distinct sets. Mixing restores full set
+    // utilization while still being pure virtual-address bits.
+    std::uint64_t x = vpn + (static_cast<std::uint64_t>(size) << 60);
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return static_cast<std::uint32_t>(x % numSets_);
+}
+
+TlbEntry *
+SetAssocTlb::findEntry(ContextId ctx, PageNum vpn, PageSize size)
+{
+    std::uint32_t set = setIndex(vpn, size);
+    TlbEntry *base = &entries_[static_cast<std::size_t>(set) * assoc_];
+    for (std::uint32_t way = 0; way < assoc_; ++way) {
+        if (base[way].matches(ctx, vpn, size))
+            return &base[way];
+    }
+    return nullptr;
+}
+
+const TlbEntry *
+SetAssocTlb::lookup(ContextId ctx, PageNum vpn, PageSize size,
+                    bool update_lru)
+{
+    TlbEntry *entry = findEntry(ctx, vpn, size);
+    if (!entry) {
+        ++misses;
+        return nullptr;
+    }
+    ++hits;
+    if (entry->prefetched) {
+        ++prefetchHits;
+        entry->prefetched = false;
+    }
+    if (update_lru)
+        entry->lastUse = ++lruClock_;
+    return entry;
+}
+
+const TlbEntry *
+SetAssocTlb::lookupAnySize(ContextId ctx, Addr vaddr, bool update_lru)
+{
+    // One pipelined array read probes all granularities; only count one
+    // access. Probe in increasing page-size order.
+    static constexpr PageSize sizes[] = {PageSize::FourKB, PageSize::TwoMB,
+                                         PageSize::OneGB};
+    for (PageSize size : sizes) {
+        TlbEntry *entry = findEntry(ctx, pageNumber(vaddr, size), size);
+        if (entry) {
+            ++hits;
+            if (entry->prefetched) {
+                ++prefetchHits;
+                entry->prefetched = false;
+            }
+            if (update_lru)
+                entry->lastUse = ++lruClock_;
+            return entry;
+        }
+    }
+    ++misses;
+    return nullptr;
+}
+
+std::optional<TlbEntry>
+SetAssocTlb::insert(const TlbEntry &entry)
+{
+    if (!entry.valid)
+        panic("inserting invalid TLB entry");
+    ++insertions;
+
+    // Refresh in place if already present (e.g. racing fills).
+    if (TlbEntry *existing = findEntry(entry.ctx, entry.vpn, entry.size)) {
+        bool was_prefetched = existing->prefetched && entry.prefetched;
+        *existing = entry;
+        existing->prefetched = was_prefetched;
+        existing->lastUse = ++lruClock_;
+        return std::nullopt;
+    }
+
+    std::uint32_t set = setIndex(entry.vpn, entry.size);
+    TlbEntry *base = &entries_[static_cast<std::size_t>(set) * assoc_];
+    TlbEntry *victim = &base[0];
+    for (std::uint32_t way = 0; way < assoc_; ++way) {
+        if (!base[way].valid) {
+            victim = &base[way];
+            break;
+        }
+        if (base[way].lastUse < victim->lastUse)
+            victim = &base[way];
+    }
+
+    std::optional<TlbEntry> evicted;
+    if (victim->valid) {
+        ++evictions;
+        evicted = *victim;
+    }
+    *victim = entry;
+    victim->lastUse = ++lruClock_;
+    return evicted;
+}
+
+bool
+SetAssocTlb::present(ContextId ctx, PageNum vpn, PageSize size) const
+{
+    std::uint32_t set = setIndex(vpn, size);
+    const TlbEntry *base =
+        &entries_[static_cast<std::size_t>(set) * assoc_];
+    for (std::uint32_t way = 0; way < assoc_; ++way) {
+        if (base[way].matches(ctx, vpn, size))
+            return true;
+    }
+    return false;
+}
+
+bool
+SetAssocTlb::invalidate(ContextId ctx, PageNum vpn, PageSize size)
+{
+    if (TlbEntry *entry = findEntry(ctx, vpn, size)) {
+        entry->valid = false;
+        ++invalidations;
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+SetAssocTlb::invalidateContext(ContextId ctx)
+{
+    std::uint64_t count = 0;
+    for (TlbEntry &entry : entries_) {
+        if (entry.valid && entry.ctx == ctx) {
+            entry.valid = false;
+            ++count;
+        }
+    }
+    invalidations += static_cast<double>(count);
+    return count;
+}
+
+std::uint64_t
+SetAssocTlb::invalidateAll()
+{
+    std::uint64_t count = 0;
+    for (TlbEntry &entry : entries_) {
+        if (entry.valid) {
+            entry.valid = false;
+            ++count;
+        }
+    }
+    invalidations += static_cast<double>(count);
+    return count;
+}
+
+std::uint64_t
+SetAssocTlb::occupancy() const
+{
+    std::uint64_t count = 0;
+    for (const TlbEntry &entry : entries_)
+        count += entry.valid ? 1 : 0;
+    return count;
+}
+
+} // namespace nocstar::tlb

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * A set-associative TLB array with true-LRU replacement and
+ * modulo-indexing on the low-order virtual page number bits (paper
+ * §III-E), supporting mixed page sizes in one array via per-size probes.
+ */
+
+#ifndef NOCSTAR_TLB_SET_ASSOC_TLB_HH
+#define NOCSTAR_TLB_SET_ASSOC_TLB_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "tlb/tlb_entry.hh"
+
+namespace nocstar::tlb
+{
+
+/**
+ * Set-associative translation array.
+ *
+ * The array is size-agnostic: lookups and inserts name an explicit
+ * PageSize, and a dual-size lookup helper probes 4 KB then 2 MB the way
+ * a dual-granularity L2 TLB does.
+ */
+class SetAssocTlb : public stats::StatGroup
+{
+  public:
+    /**
+     * @param name stat group name.
+     * @param entries total entry count (need not be a power of two).
+     * @param assoc associativity; entries must divide evenly into sets.
+     * @param parent optional owning stat group.
+     */
+    SetAssocTlb(const std::string &name, std::uint32_t entries,
+                std::uint32_t assoc, stats::StatGroup *parent = nullptr);
+
+    /**
+     * Probe for a translation of a specific page size.
+     * @param update_lru refresh recency on hit (demand accesses do;
+     *        snoops / invalidation probes must not).
+     * @return the matching entry, or nullptr.
+     */
+    const TlbEntry *lookup(ContextId ctx, PageNum vpn, PageSize size,
+                           bool update_lru = true);
+
+    /**
+     * Probe for @p vaddr trying 4 KB then 2 MB then 1 GB granularity.
+     * Counts a single access (one pipelined SRAM read).
+     */
+    const TlbEntry *lookupAnySize(ContextId ctx, Addr vaddr,
+                                  bool update_lru = true);
+
+    /**
+     * Insert a translation, evicting the set's LRU entry if needed.
+     * Re-inserting an existing translation refreshes it in place.
+     * @return the evicted valid entry, if any.
+     */
+    std::optional<TlbEntry> insert(const TlbEntry &entry);
+
+    /**
+     * Non-statistical presence check (prefetch filtering, snoops);
+     * does not touch recency or hit/miss counters.
+     */
+    bool present(ContextId ctx, PageNum vpn, PageSize size) const;
+
+    /** Invalidate one translation. @return true if it was present. */
+    bool invalidate(ContextId ctx, PageNum vpn, PageSize size);
+
+    /** Invalidate everything belonging to @p ctx. @return count. */
+    std::uint64_t invalidateContext(ContextId ctx);
+
+    /** Invalidate the whole array (context switch without PCID). */
+    std::uint64_t invalidateAll();
+
+    std::uint32_t numEntries() const { return numEntries_; }
+    std::uint32_t assoc() const { return assoc_; }
+    std::uint32_t numSets() const { return numSets_; }
+
+    /** Number of currently valid entries (O(n); for tests/stats). */
+    std::uint64_t occupancy() const;
+
+    // Aggregate statistics (public so organizations can derive rates).
+    stats::Scalar hits;
+    stats::Scalar misses;
+    stats::Scalar insertions;
+    stats::Scalar evictions;
+    stats::Scalar invalidations;
+
+    /** Demand hit on an entry brought in by the prefetcher. */
+    stats::Scalar prefetchHits;
+
+    double
+    missRate() const
+    {
+        double acc = hits.value() + misses.value();
+        return acc > 0 ? misses.value() / acc : 0.0;
+    }
+
+  private:
+    /** Set index for (vpn, size): modulo indexing on low VPN bits. */
+    std::uint32_t setIndex(PageNum vpn, PageSize size) const;
+
+    TlbEntry *findEntry(ContextId ctx, PageNum vpn, PageSize size);
+
+    std::uint32_t numEntries_;
+    std::uint32_t assoc_;
+    std::uint32_t numSets_;
+    std::uint64_t lruClock_ = 0;
+    std::vector<TlbEntry> entries_;
+};
+
+} // namespace nocstar::tlb
+
+#endif // NOCSTAR_TLB_SET_ASSOC_TLB_HH

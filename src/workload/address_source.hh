@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Abstract per-thread address source. The synthetic generator and the
+ * trace replayer both implement this, so the System is agnostic to
+ * where its address streams come from.
+ */
+
+#ifndef NOCSTAR_WORKLOAD_ADDRESS_SOURCE_HH
+#define NOCSTAR_WORKLOAD_ADDRESS_SOURCE_HH
+
+#include "sim/types.hh"
+
+namespace nocstar::workload
+{
+
+/**
+ * One hardware thread's stream of virtual byte addresses.
+ */
+class AddressSource
+{
+  public:
+    virtual ~AddressSource() = default;
+
+    /** Next virtual address; sources never run dry (traces loop). */
+    virtual Addr next() = 0;
+};
+
+} // namespace nocstar::workload
+
+#endif // NOCSTAR_WORKLOAD_ADDRESS_SOURCE_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Trace capture and replay.
+ *
+ * Format: plain text, one record per line: `<thread> <hex-vaddr>`,
+ * with `#`-prefixed comment lines. A trace file carries the streams
+ * of all threads of one application; TraceFile::sourceFor() extracts
+ * one thread's stream as an AddressSource that loops when exhausted,
+ * so trace-driven runs can be as long as synthetic ones.
+ */
+
+#ifndef NOCSTAR_WORKLOAD_TRACE_HH
+#define NOCSTAR_WORKLOAD_TRACE_HH
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "workload/address_source.hh"
+
+namespace nocstar::workload
+{
+
+/**
+ * An in-memory address trace, grouped by thread.
+ */
+class TraceFile
+{
+  public:
+    /** Parse @p path; fatal() on malformed records. */
+    static TraceFile load(const std::string &path);
+
+    /** Append one record (capture side). */
+    void append(unsigned thread, Addr vaddr);
+
+    /** Write the trace to @p path. */
+    void save(const std::string &path) const;
+
+    /** Threads with at least one record. */
+    std::vector<unsigned> threads() const;
+
+    /** Number of records for @p thread. */
+    std::size_t recordCount(unsigned thread) const;
+
+    std::size_t totalRecords() const { return total_; }
+
+    /**
+     * A looping replay source for @p thread; fatal() if the thread has
+     * no records. The source keeps a reference into this TraceFile,
+     * which must outlive it.
+     */
+    std::unique_ptr<AddressSource> sourceFor(unsigned thread) const;
+
+  private:
+    std::unordered_map<unsigned, std::vector<Addr>> perThread_;
+    std::size_t total_ = 0;
+};
+
+/**
+ * Replays one thread's records in order, wrapping around at the end.
+ */
+class TraceSource : public AddressSource
+{
+  public:
+    explicit TraceSource(const std::vector<Addr> &records)
+        : records_(records)
+    {}
+
+    Addr
+    next() override
+    {
+        Addr vaddr = records_[cursor_];
+        cursor_ = (cursor_ + 1) % records_.size();
+        return vaddr;
+    }
+
+  private:
+    const std::vector<Addr> &records_;
+    std::size_t cursor_ = 0;
+};
+
+} // namespace nocstar::workload
+
+#endif // NOCSTAR_WORKLOAD_TRACE_HH

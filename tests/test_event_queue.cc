@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace nocstar;
+
+namespace
+{
+
+class CountingEvent : public Event
+{
+  public:
+    explicit CountingEvent(std::vector<int> *log, int id,
+                           Priority prio = defaultPriority)
+        : Event(prio), log_(log), id_(id)
+    {}
+
+    void process() override { log_->push_back(id_); }
+
+  private:
+    std::vector<int> *log_;
+    int id_;
+};
+
+} // namespace
+
+TEST(EventQueue, StartsEmptyAtCycleZero)
+{
+    EventQueue queue;
+    EXPECT_TRUE(queue.empty());
+    EXPECT_EQ(queue.curCycle(), 0u);
+    EXPECT_EQ(queue.run(), 0u);
+}
+
+TEST(EventQueue, ProcessesInTimeOrder)
+{
+    EventQueue queue;
+    std::vector<int> log;
+    CountingEvent a(&log, 1), b(&log, 2), c(&log, 3);
+    queue.schedule(&b, 20);
+    queue.schedule(&a, 10);
+    queue.schedule(&c, 30);
+    EXPECT_EQ(queue.run(), 3u);
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(queue.curCycle(), 30u);
+}
+
+TEST(EventQueue, FifoAmongSameCycleSamePriority)
+{
+    EventQueue queue;
+    std::vector<int> log;
+    CountingEvent a(&log, 1), b(&log, 2), c(&log, 3);
+    queue.schedule(&a, 5);
+    queue.schedule(&b, 5);
+    queue.schedule(&c, 5);
+    queue.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, PriorityOrdersWithinCycle)
+{
+    EventQueue queue;
+    std::vector<int> log;
+    CountingEvent late(&log, 9, Event::lastPriority);
+    CountingEvent arb(&log, 5, Event::arbitrationPriority);
+    CountingEvent normal(&log, 1);
+    queue.schedule(&late, 7);
+    queue.schedule(&arb, 7);
+    queue.schedule(&normal, 7);
+    queue.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 5, 9}));
+}
+
+TEST(EventQueue, DescheduleRemovesEvent)
+{
+    EventQueue queue;
+    std::vector<int> log;
+    CountingEvent a(&log, 1), b(&log, 2);
+    queue.schedule(&a, 10);
+    queue.schedule(&b, 11);
+    queue.deschedule(&a);
+    EXPECT_FALSE(a.scheduled());
+    EXPECT_EQ(queue.run(), 1u);
+    EXPECT_EQ(log, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, RescheduleMovesEvent)
+{
+    EventQueue queue;
+    std::vector<int> log;
+    CountingEvent a(&log, 1), b(&log, 2);
+    queue.schedule(&a, 10);
+    queue.schedule(&b, 20);
+    queue.reschedule(&a, 30);
+    queue.run();
+    EXPECT_EQ(log, (std::vector<int>{2, 1}));
+    EXPECT_EQ(queue.curCycle(), 30u);
+}
+
+TEST(EventQueue, RunWithLimitStopsEarly)
+{
+    EventQueue queue;
+    std::vector<int> log;
+    CountingEvent a(&log, 1), b(&log, 2);
+    queue.schedule(&a, 10);
+    queue.schedule(&b, 100);
+    EXPECT_EQ(queue.run(50), 1u);
+    EXPECT_EQ(log, (std::vector<int>{1}));
+    EXPECT_FALSE(queue.empty());
+    EXPECT_EQ(queue.run(), 1u);
+    EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue queue;
+    std::vector<Cycle> fired;
+    queue.scheduleLambda(1, [&] {
+        fired.push_back(queue.curCycle());
+        queue.scheduleLambda(queue.curCycle() + 5, [&] {
+            fired.push_back(queue.curCycle());
+        });
+    });
+    queue.run();
+    EXPECT_EQ(fired, (std::vector<Cycle>{1, 6}));
+}
+
+TEST(EventQueue, DoubleSchedulePanics)
+{
+    EventQueue queue;
+    std::vector<int> log;
+    CountingEvent a(&log, 1);
+    queue.schedule(&a, 10);
+    EXPECT_THROW(queue.schedule(&a, 12), PanicError);
+    queue.deschedule(&a);
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue queue;
+    queue.scheduleLambda(10, [] {});
+    queue.run();
+    std::vector<int> log;
+    CountingEvent a(&log, 1);
+    EXPECT_THROW(queue.schedule(&a, 5), PanicError);
+}
+
+TEST(EventQueue, DescheduleUnscheduledPanics)
+{
+    EventQueue queue;
+    std::vector<int> log;
+    CountingEvent a(&log, 1);
+    EXPECT_THROW(queue.deschedule(&a), PanicError);
+}
+
+TEST(EventQueue, RunOneCycleProcessesHeadCycleOnly)
+{
+    EventQueue queue;
+    std::vector<int> log;
+    CountingEvent a(&log, 1), b(&log, 2), c(&log, 3);
+    queue.schedule(&a, 4);
+    queue.schedule(&b, 4);
+    queue.schedule(&c, 9);
+    queue.runOneCycle();
+    EXPECT_EQ(log, (std::vector<int>{1, 2}));
+    EXPECT_EQ(queue.size(), 1u);
+    queue.run();
+}
+
+TEST(EventQueue, ManyLambdaEventsAreReaped)
+{
+    EventQueue queue;
+    std::uint64_t count = 0;
+    for (int i = 0; i < 10000; ++i)
+        queue.scheduleLambda(static_cast<Cycle>(i), [&] { ++count; });
+    queue.run();
+    EXPECT_EQ(count, 10000u);
+}
+
+TEST(EventQueue, SizeTracksLiveEvents)
+{
+    EventQueue queue;
+    std::vector<int> log;
+    CountingEvent a(&log, 1), b(&log, 2);
+    queue.schedule(&a, 1);
+    queue.schedule(&b, 2);
+    EXPECT_EQ(queue.size(), 2u);
+    queue.deschedule(&b);
+    EXPECT_EQ(queue.size(), 1u);
+    queue.run();
+    EXPECT_EQ(queue.size(), 0u);
+}

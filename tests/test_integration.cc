@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Cross-organization integration properties: the orderings and
+ * invariants the paper's argument rests on, checked on live
+ * simulations rather than single modules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/system.hh"
+
+using namespace nocstar;
+using namespace nocstar::cpu;
+
+namespace
+{
+
+RunResult
+runKind(core::OrgKind kind, const workload::WorkloadSpec &spec,
+        unsigned cores, std::uint64_t accesses)
+{
+    SystemConfig config;
+    config.org.kind = kind;
+    config.org.numCores = cores;
+    {
+        cpu::AppConfig app_config;
+        app_config.spec = spec;
+        app_config.threads = cores;
+        config.apps.push_back(std::move(app_config));
+    }
+    config.seed = 42;
+    System system(config);
+    return system.run(accesses);
+}
+
+} // namespace
+
+TEST(Integration, L1BehaviourIdenticalAcrossOrganizations)
+{
+    // The L1 TLBs sit above the organization, so for a fixed seed the
+    // demand stream into the L2 must be identical everywhere.
+    auto spec = workload::testWorkload();
+    auto priv = runKind(core::OrgKind::Private, spec, 8, 4000);
+    auto mono = runKind(core::OrgKind::MonolithicMesh, spec, 8, 4000);
+    auto nocstar = runKind(core::OrgKind::Nocstar, spec, 8, 4000);
+    EXPECT_EQ(priv.l1Misses, mono.l1Misses);
+    EXPECT_EQ(priv.l1Misses, nocstar.l1Misses);
+}
+
+TEST(Integration, SharedHitRateOrdering)
+{
+    // Shared organizations see one another's fills; every shared
+    // variant must beat private on misses, and the hit *rates* of the
+    // shared variants must essentially coincide (same capacity).
+    auto spec = workload::testWorkload();
+    auto priv = runKind(core::OrgKind::Private, spec, 8, 6000);
+    auto mono = runKind(core::OrgKind::MonolithicMesh, spec, 8, 6000);
+    auto dist = runKind(core::OrgKind::Distributed, spec, 8, 6000);
+    auto nocstar = runKind(core::OrgKind::Nocstar, spec, 8, 6000);
+
+    EXPECT_LT(mono.l2Misses, priv.l2Misses);
+    EXPECT_LT(dist.l2Misses, priv.l2Misses);
+    EXPECT_LT(nocstar.l2Misses, priv.l2Misses);
+    // 920-entry slices sacrifice a little capacity vs 1024 slices.
+    EXPECT_NEAR(static_cast<double>(nocstar.l2Misses),
+                static_cast<double>(dist.l2Misses),
+                0.25 * static_cast<double>(dist.l2Misses) + 50);
+}
+
+TEST(Integration, LatencyOrderingMatchesPaper)
+{
+    // Average L2 access latency: ideal < NOCSTAR < distributed <
+    // monolithic (Fig 11a collapsed into the full system).
+    auto spec = workload::testWorkload();
+    auto mono = runKind(core::OrgKind::MonolithicMesh, spec, 16, 5000);
+    auto dist = runKind(core::OrgKind::Distributed, spec, 16, 5000);
+    auto nocstar = runKind(core::OrgKind::Nocstar, spec, 16, 5000);
+    auto ideal = runKind(core::OrgKind::IdealShared, spec, 16, 5000);
+
+    EXPECT_LT(ideal.avgL2AccessLatency, nocstar.avgL2AccessLatency);
+    EXPECT_LT(nocstar.avgL2AccessLatency, dist.avgL2AccessLatency);
+    EXPECT_LT(dist.avgL2AccessLatency, mono.avgL2AccessLatency);
+}
+
+TEST(Integration, NocstarWithinFractionOfIdeal)
+{
+    // §I: NOCSTAR comes within ~95 % of the zero-latency-interconnect
+    // shared TLB. Allow a little slack at small scale.
+    auto spec = workload::testWorkload();
+    auto nocstar = runKind(core::OrgKind::Nocstar, spec, 16, 8000);
+    auto ideal = runKind(core::OrgKind::IdealShared, spec, 16, 8000);
+    EXPECT_GT(ideal.meanCycles / nocstar.meanCycles, 0.90);
+}
+
+TEST(Integration, NocstarIdealRemovesContention)
+{
+    auto spec = workload::testWorkload();
+    auto real = runKind(core::OrgKind::Nocstar, spec, 16, 6000);
+    auto contention_free =
+        runKind(core::OrgKind::NocstarIdeal, spec, 16, 6000);
+    // Link contention is gone (only per-tile setup-port queueing can
+    // remain), so the ideal fabric is at least as fast and at least
+    // as contention-free.
+    EXPECT_LE(contention_free.meanCycles, real.meanCycles * 1.005);
+    EXPECT_GE(contention_free.fabricNoContention,
+              real.fabricNoContention - 1e-9);
+}
+
+TEST(Integration, SharedSavesTranslationEnergy)
+{
+    // Fig 14 right: shared organizations eliminate page walks and the
+    // cache/DRAM references they imply.
+    auto spec = workload::testWorkload();
+    auto priv = runKind(core::OrgKind::Private, spec, 16, 6000);
+    auto nocstar = runKind(core::OrgKind::Nocstar, spec, 16, 6000);
+    EXPECT_LT(nocstar.energyPj, priv.energyPj);
+}
+
+TEST(Integration, EliminationGrowsWithCoreCount)
+{
+    // Fig 2: the shared TLB removes a larger share of private misses
+    // at higher core counts.
+    auto spec = workload::findWorkload("graph500");
+    double elim[2];
+    int i = 0;
+    for (unsigned cores : {8u, 32u}) {
+        auto priv = runKind(core::OrgKind::Private, spec, cores, 4000);
+        auto shared =
+            runKind(core::OrgKind::Nocstar, spec, cores, 4000);
+        elim[i++] = 1.0 - static_cast<double>(shared.l2Misses) /
+                              static_cast<double>(priv.l2Misses);
+    }
+    EXPECT_GT(elim[1], elim[0]);
+    EXPECT_GT(elim[1], 0.5);
+}
+
+TEST(Integration, RemoteWalkPollutesRemoteCaches)
+{
+    // Fig 17: remote-core walks fill PTE lines into other cores' L2s.
+    auto spec = workload::testWorkload();
+    SystemConfig config;
+    config.org.kind = core::OrgKind::Nocstar;
+    config.org.numCores = 8;
+    config.org.ptwPlacement = core::PtwPlacement::Remote;
+    {
+        cpu::AppConfig app_config;
+        app_config.spec = spec;
+        app_config.threads = 8;
+        config.apps.push_back(std::move(app_config));
+    }
+    config.seed = 42;
+    System remote(config);
+    auto r = remote.run(4000);
+    config.org.ptwPlacement = core::PtwPlacement::Requester;
+    System requester(config);
+    auto q = requester.run(4000);
+    EXPECT_GT(r.walks, 0u);
+    EXPECT_GE(r.meanCycles, q.meanCycles * 0.95);
+}
+
+TEST(Integration, StormHurtsButNocstarStillLeads)
+{
+    // Fig 19 structure: with the TLB storm, every organization slows
+    // down, and NOCSTAR still beats monolithic.
+    auto spec = workload::testWorkload();
+    SystemConfig base;
+    base.org.numCores = 8;
+    {
+        cpu::AppConfig app_config;
+        app_config.spec = spec;
+        app_config.threads = 8;
+        base.apps.push_back(std::move(app_config));
+    }
+    base.seed = 42;
+
+    auto run_with = [&](core::OrgKind kind, bool storm) {
+        SystemConfig config = base;
+        config.org.kind = kind;
+        if (storm) {
+            config.contextSwitchInterval = 20000;
+            config.stormRemapInterval = 4000;
+        }
+        System system(config);
+        return system.run(6000);
+    };
+
+    auto nocstar_alone = run_with(core::OrgKind::Nocstar, false);
+    auto nocstar_storm = run_with(core::OrgKind::Nocstar, true);
+    auto mono_storm = run_with(core::OrgKind::MonolithicMesh, true);
+
+    EXPECT_GT(nocstar_storm.meanCycles, nocstar_alone.meanCycles);
+    EXPECT_LT(nocstar_storm.meanCycles, mono_storm.meanCycles);
+    EXPECT_GT(nocstar_storm.shootdowns, 0u);
+}

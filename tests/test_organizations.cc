@@ -1,0 +1,379 @@
+/**
+ * @file
+ * Tests of the four last-level TLB organizations: timing (including
+ * the Fig 10 remote-access timeline), hit/miss handling, walk
+ * placement, preload, shootdowns and flushes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/distributed_org.hh"
+#include "core/monolithic_org.hh"
+#include "core/nocstar_org.hh"
+#include "core/private_org.hh"
+#include "energy/sram_model.hh"
+#include "mem/cache_model.hh"
+#include "mem/page_walker.hh"
+
+using namespace nocstar;
+using namespace nocstar::core;
+
+namespace
+{
+
+/** Self-contained environment for one organization. */
+struct OrgHarness
+{
+    EventQueue queue;
+    stats::StatGroup root{"root"};
+    mem::PageTable table{0.0, 1};
+    mem::CacheModel caches;
+    std::vector<std::unique_ptr<mem::PageTableWalker>> walkers;
+    energy::TranslationEnergyModel energy;
+    OrgConfig config;
+    std::unique_ptr<TlbOrganization> org;
+    std::vector<std::pair<CoreId, PageNum>> l1Invalidations;
+
+    explicit OrgHarness(OrgKind kind, unsigned cores = 16,
+                        std::function<void(OrgConfig &)> tweak = {})
+        : caches("caches", cores, mem::CacheModelConfig{}, &root)
+    {
+        config.kind = kind;
+        config.numCores = cores;
+        if (tweak)
+            tweak(config);
+
+        OrgContext context;
+        context.queue = &queue;
+        context.pageTable = &table;
+        context.energy = &energy;
+        for (CoreId c = 0; c < cores; ++c) {
+            walkers.push_back(std::make_unique<mem::PageTableWalker>(
+                "walker" + std::to_string(c), c, table, caches,
+                mem::WalkerConfig{}, &root));
+            context.walkers.push_back(walkers.back().get());
+        }
+        context.l1Invalidate = [this](CoreId core, ContextId,
+                                      PageNum vpn, PageSize) {
+            l1Invalidations.push_back({core, vpn});
+        };
+        org = makeOrganization(config, std::move(context), &root);
+    }
+
+    /** Blocking translate helper. */
+    TranslationResult
+    translate(CoreId core, Addr vaddr, Cycle now)
+    {
+        TranslationResult out;
+        bool done = false;
+        org->translate(core, 1, vaddr, now,
+                       [&](const TranslationResult &r) {
+                           out = r;
+                           done = true;
+                       });
+        queue.run();
+        EXPECT_TRUE(done);
+        return out;
+    }
+};
+
+/** A 4 KB address homed on a given slice of an N-core system. */
+Addr
+addrOnSlice(CoreId slice, unsigned cores, std::uint64_t salt = 0)
+{
+    PageNum vpn = salt * cores + slice;
+    return vpn << pageShift(PageSize::FourKB);
+}
+
+} // namespace
+
+TEST(PrivateOrg, HitTakesInitiatePlusNineCycles)
+{
+    OrgHarness h(OrgKind::Private);
+    Addr vaddr = 0x7000;
+    mem::Translation t = h.table.translate(1, vaddr);
+    auto &priv = dynamic_cast<PrivateOrg &>(*h.org);
+    priv.preloadPrivate(2, 1, vaddr, t);
+
+    auto result = h.translate(2, vaddr, 100);
+    EXPECT_TRUE(result.l2Hit);
+    // initiate (1) + SRAM lookup (9).
+    EXPECT_EQ(result.completedAt, 110u);
+}
+
+TEST(PrivateOrg, MissWalksAndFills)
+{
+    OrgHarness h(OrgKind::Private);
+    auto result = h.translate(0, 0x9000, 50);
+    EXPECT_FALSE(result.l2Hit);
+    EXPECT_TRUE(result.walked);
+    EXPECT_GT(result.completedAt, 60u);
+    // Refill is now resident.
+    auto again = h.translate(0, 0x9000, result.completedAt + 10);
+    EXPECT_TRUE(again.l2Hit);
+    EXPECT_EQ(h.org->l2Misses.value(), 1.0);
+    EXPECT_EQ(h.org->l2Hits.value(), 1.0);
+}
+
+TEST(PrivateOrg, CoresDoNotShareArrays)
+{
+    OrgHarness h(OrgKind::Private);
+    h.translate(0, 0x9000, 0); // fills core 0 only
+    auto other = h.translate(1, 0x9000, 2000);
+    EXPECT_FALSE(other.l2Hit);
+}
+
+TEST(PrivateOrg, ShootdownInvalidatesEverywhere)
+{
+    OrgHarness h(OrgKind::Private);
+    h.translate(0, 0x9000, 0);
+    h.translate(1, 0x9000, 2000);
+    Cycle completed = 0;
+    h.org->shootdown(0, 1, 0x9000, {0, 1, 2}, 4000,
+                     [&](Cycle at) { completed = at; });
+    h.queue.run();
+    EXPECT_EQ(completed, 4000 + PrivateOrg::shootdownLatency);
+    EXPECT_EQ(h.org->shootdownL2Invalidations.value(), 2.0);
+    EXPECT_EQ(h.l1Invalidations.size(), 3u);
+    auto after = h.translate(0, 0x9000, 5000);
+    EXPECT_FALSE(after.l2Hit);
+}
+
+TEST(NocstarOrg, RemoteHitFollowsFig10Timeline)
+{
+    OrgHarness h(OrgKind::Nocstar);
+    auto &nocstar = dynamic_cast<NocstarOrg &>(*h.org);
+
+    // Find an address homed on a slice one hop from core 0.
+    Addr vaddr = addrOnSlice(1, 16);
+    ASSERT_EQ(nocstar.sliceOf(vaddr), 1u);
+    nocstar.preloadShared(1, vaddr, h.table.translate(1, vaddr));
+
+    auto result = h.translate(0, vaddr, 0);
+    EXPECT_TRUE(result.l2Hit);
+    // Fig 10: L1 miss at 0, path setup at 1, traversal at 2, slice
+    // access 3..11 (9 cycles), response setup overlapped, response
+    // traversal, insert at 13.
+    EXPECT_EQ(result.completedAt, 13u);
+}
+
+TEST(NocstarOrg, LocalHitMatchesPrivateLatency)
+{
+    OrgHarness h(OrgKind::Nocstar);
+    auto &nocstar = dynamic_cast<NocstarOrg &>(*h.org);
+    Addr vaddr = addrOnSlice(5, 16);
+    nocstar.preloadShared(1, vaddr, h.table.translate(1, vaddr));
+    auto result = h.translate(5, vaddr, 0);
+    EXPECT_TRUE(result.l2Hit);
+    EXPECT_EQ(result.completedAt, 10u); // initiate + 9-cycle slice
+}
+
+TEST(NocstarOrg, SliceEntriesAreaNormalized)
+{
+    OrgHarness h(OrgKind::Nocstar);
+    auto &nocstar = dynamic_cast<NocstarOrg &>(*h.org);
+    EXPECT_EQ(nocstar.sliceArray(0).numEntries(), 920u);
+    EXPECT_EQ(h.org->totalEntries(), 920u * 16);
+}
+
+TEST(NocstarOrg, MissFillsHomeSliceForAllCores)
+{
+    OrgHarness h(OrgKind::Nocstar);
+    Addr vaddr = addrOnSlice(3, 16);
+    auto first = h.translate(0, vaddr, 0);
+    EXPECT_FALSE(first.l2Hit);
+    // Another core now hits the shared slice: the sharing benefit.
+    auto second = h.translate(7, vaddr, first.completedAt + 100);
+    EXPECT_TRUE(second.l2Hit);
+}
+
+TEST(NocstarOrg, RemoteWalkPlacementRespondsAfterWalk)
+{
+    OrgHarness requester(OrgKind::Nocstar, 16, [](OrgConfig &c) {
+        c.ptwPlacement = PtwPlacement::Requester;
+    });
+    OrgHarness remote(OrgKind::Nocstar, 16, [](OrgConfig &c) {
+        c.ptwPlacement = PtwPlacement::Remote;
+    });
+    Addr vaddr = addrOnSlice(2, 16);
+    auto r1 = requester.translate(0, vaddr, 0);
+    auto r2 = remote.translate(0, vaddr, 0);
+    EXPECT_TRUE(r1.walked);
+    EXPECT_TRUE(r2.walked);
+    // Remote placement walks on the slice core: the requester's walker
+    // stays idle and the slice core's walker was used.
+    EXPECT_EQ(requester.walkers[0]->walks.value(), 1.0);
+    EXPECT_EQ(requester.walkers[2]->walks.value(), 0.0);
+    EXPECT_EQ(remote.walkers[0]->walks.value(), 0.0);
+    EXPECT_EQ(remote.walkers[2]->walks.value(), 1.0);
+}
+
+TEST(NocstarOrg, RoundTripAcquireStillResolves)
+{
+    OrgHarness h(OrgKind::Nocstar, 16, [](OrgConfig &c) {
+        c.pathAcquire = PathAcquire::RoundTrip;
+    });
+    auto &nocstar = dynamic_cast<NocstarOrg &>(*h.org);
+    Addr vaddr = addrOnSlice(1, 16);
+    nocstar.preloadShared(1, vaddr, h.table.translate(1, vaddr));
+    auto result = h.translate(0, vaddr, 0);
+    EXPECT_TRUE(result.l2Hit);
+    EXPECT_EQ(result.completedAt, 13u);
+}
+
+TEST(NocstarOrg, ShootdownLeaderDeduplicates)
+{
+    // 4 sharers in one leader group -> 1 downstream invalidation.
+    OrgHarness direct(OrgKind::Nocstar, 16);
+    OrgHarness leader(OrgKind::Nocstar, 16, [](OrgConfig &c) {
+        c.invalLeaderGroup = 4;
+    });
+    Addr vaddr = addrOnSlice(9, 16);
+    std::vector<CoreId> sharers{0, 1, 2, 3};
+
+    direct.translate(0, vaddr, 0);
+    leader.translate(0, vaddr, 0);
+
+    Cycle direct_done = 0, leader_done = 0;
+    direct.org->shootdown(0, 1, vaddr, sharers, 10000,
+                          [&](Cycle at) { direct_done = at; });
+    direct.queue.run();
+    leader.org->shootdown(0, 1, vaddr, sharers, 10000,
+                          [&](Cycle at) { leader_done = at; });
+    leader.queue.run();
+
+    EXPECT_GT(direct_done, 10000u);
+    EXPECT_GT(leader_done, 10000u);
+    // Direct mode sends 4 slice messages; leader mode sends 4 leader
+    // notifications + 1 slice message. Check via fabric counters.
+    auto &dfab = dynamic_cast<NocstarOrg &>(*direct.org).fabric();
+    auto &lfab = dynamic_cast<NocstarOrg &>(*leader.org).fabric();
+    double dmsgs = dfab.messagesSent.value();
+    double lmsgs = lfab.messagesSent.value();
+    // Leader group of {0..3} has leader 0; sharer 0's upstream
+    // message is local (not counted), so: direct 4 vs leader 3+1.
+    EXPECT_DOUBLE_EQ(dmsgs - lmsgs, 0.0);
+    EXPECT_EQ(direct.org->shootdownL2Invalidations.value(), 1.0);
+    EXPECT_EQ(leader.org->shootdownL2Invalidations.value(), 1.0);
+}
+
+TEST(NocstarOrg, FlushAllEmptiesSlices)
+{
+    OrgHarness h(OrgKind::Nocstar);
+    auto &nocstar = dynamic_cast<NocstarOrg &>(*h.org);
+    for (unsigned i = 0; i < 8; ++i) {
+        Addr vaddr = addrOnSlice(i, 16, 3);
+        nocstar.preloadShared(1, vaddr, h.table.translate(1, vaddr));
+    }
+    h.org->flushAll();
+    for (unsigned i = 0; i < 16; ++i)
+        EXPECT_EQ(nocstar.sliceArray(i).occupancy(), 0u);
+}
+
+TEST(DistributedOrg, RemoteHitPaysMeshRoundTrip)
+{
+    OrgHarness h(OrgKind::Distributed);
+    auto &dist = dynamic_cast<DistributedOrg &>(*h.org);
+    Addr vaddr = addrOnSlice(1, 16); // one hop from core 0
+    dist.preloadShared(1, vaddr, h.table.translate(1, vaddr));
+    auto result = h.translate(0, vaddr, 0);
+    EXPECT_TRUE(result.l2Hit);
+    // initiate 1 + mesh 2 + latch 1 + lookup 9 + mesh 2 = 15.
+    EXPECT_EQ(result.completedAt, 15u);
+}
+
+TEST(DistributedOrg, IdealSharedHasZeroNetworkLatency)
+{
+    OrgHarness h(OrgKind::IdealShared);
+    auto &dist = dynamic_cast<DistributedOrg &>(*h.org);
+    Addr vaddr = addrOnSlice(9, 16); // far from core 0
+    dist.preloadShared(1, vaddr, h.table.translate(1, vaddr));
+    auto result = h.translate(0, vaddr, 0);
+    EXPECT_TRUE(result.l2Hit);
+    // initiate 1 + latch 1 + lookup 9; no interconnect latency.
+    EXPECT_EQ(result.completedAt, 11u);
+}
+
+TEST(MonolithicOrg, BankGeometryAndLatency)
+{
+    OrgHarness h(OrgKind::MonolithicMesh, 16, [](OrgConfig &c) {
+        c.banks = 4;
+    });
+    auto &mono = dynamic_cast<MonolithicOrg &>(*h.org);
+    // 16 cores x 1024 entries / 4 banks = 4096 entries per bank.
+    EXPECT_EQ(mono.bankArray(0).numEntries(), 4096u);
+    EXPECT_EQ(h.org->totalEntries(), 16384u);
+    // Banking buys ports, not latency: the access pays the full
+    // 16K-entry array, 9 + 1.2*log2(16384/1536) -> 14 cycles.
+    EXPECT_EQ(mono.bankLatency(),
+              energy::SramModel::accessLatency(16384));
+}
+
+TEST(MonolithicOrg, AccessPaysNetworkBothWays)
+{
+    OrgHarness h(OrgKind::MonolithicMesh);
+    auto &mono = dynamic_cast<MonolithicOrg &>(*h.org);
+    Addr vaddr = 0x4000;
+    mono.preloadShared(1, vaddr, h.table.translate(1, vaddr));
+    CoreId far_core = 0; // top-left; structure is bottom-middle
+    auto result = h.translate(far_core, vaddr, 0);
+    EXPECT_TRUE(result.l2Hit);
+    unsigned hops = noc::GridTopology::forCores(16).hops(
+        far_core, mono.structureTile());
+    Cycle expected = 1 + 2 * hops + 1 + mono.bankLatency() + 2 * hops;
+    EXPECT_EQ(result.completedAt, expected);
+}
+
+TEST(MonolithicOrg, AccessOverrideReplacesTiming)
+{
+    OrgHarness h(OrgKind::MonolithicMesh, 16, [](OrgConfig &c) {
+        c.monolithicAccessOverride = 25;
+    });
+    auto &mono = dynamic_cast<MonolithicOrg &>(*h.org);
+    Addr vaddr = 0x4000;
+    mono.preloadShared(1, vaddr, h.table.translate(1, vaddr));
+    auto result = h.translate(0, vaddr, 0);
+    EXPECT_TRUE(result.l2Hit);
+    EXPECT_EQ(result.completedAt, 26u); // initiate + 25-cycle access
+}
+
+TEST(MonolithicOrg, SmartVariantIsFasterThanMesh)
+{
+    OrgHarness mesh(OrgKind::MonolithicMesh);
+    OrgHarness smart(OrgKind::MonolithicSmart);
+    Addr vaddr = 0x4000;
+    dynamic_cast<MonolithicOrg &>(*mesh.org)
+        .preloadShared(1, vaddr, mesh.table.translate(1, vaddr));
+    dynamic_cast<MonolithicOrg &>(*smart.org)
+        .preloadShared(1, vaddr, smart.table.translate(1, vaddr));
+    auto rm = mesh.translate(0, vaddr, 0);
+    auto rs = smart.translate(0, vaddr, 0);
+    EXPECT_LT(rs.completedAt, rm.completedAt);
+}
+
+TEST(Organizations, FactoryBuildsEveryKind)
+{
+    for (OrgKind kind :
+         {OrgKind::Private, OrgKind::MonolithicMesh,
+          OrgKind::MonolithicSmart, OrgKind::Distributed,
+          OrgKind::IdealShared, OrgKind::Nocstar,
+          OrgKind::NocstarIdeal}) {
+        OrgHarness h(kind, 16);
+        EXPECT_NE(h.org, nullptr);
+        EXPECT_GT(h.org->totalEntries(), 0u);
+        EXPECT_STRNE(orgKindName(kind), "?");
+    }
+}
+
+TEST(Organizations, ConcurrencyTrackingBalances)
+{
+    OrgHarness h(OrgKind::Nocstar);
+    for (unsigned i = 0; i < 6; ++i)
+        h.org->translate(i, 1, addrOnSlice(8, 16, i), 0,
+                         [](const TranslationResult &) {});
+    h.queue.run();
+    EXPECT_EQ(h.org->concurrency.numSamples(), 6u);
+    // All six target slice 8: the last sampled concurrency must have
+    // seen several outstanding accesses.
+    EXPECT_GT(h.org->concurrency.maxSample(), 1.0);
+}
