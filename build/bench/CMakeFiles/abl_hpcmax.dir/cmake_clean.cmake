@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_hpcmax.dir/abl_hpcmax.cc.o"
+  "CMakeFiles/abl_hpcmax.dir/abl_hpcmax.cc.o.d"
+  "abl_hpcmax"
+  "abl_hpcmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_hpcmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_priority_epoch.dir/abl_priority_epoch.cc.o"
+  "CMakeFiles/abl_priority_epoch.dir/abl_priority_epoch.cc.o.d"
+  "abl_priority_epoch"
+  "abl_priority_epoch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_priority_epoch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_slice_size.cc" "bench/CMakeFiles/abl_slice_size.dir/abl_slice_size.cc.o" "gcc" "bench/CMakeFiles/abl_slice_size.dir/abl_slice_size.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/nocstar_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nocstar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/nocstar_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/nocstar_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/nocstar_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/nocstar_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/nocstar_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nocstar_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_slice_size.dir/abl_slice_size.cc.o"
+  "CMakeFiles/abl_slice_size.dir/abl_slice_size.cc.o.d"
+  "abl_slice_size"
+  "abl_slice_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_slice_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_shared_hit_rate.dir/fig02_shared_hit_rate.cc.o"
+  "CMakeFiles/fig02_shared_hit_rate.dir/fig02_shared_hit_rate.cc.o.d"
+  "fig02_shared_hit_rate"
+  "fig02_shared_hit_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_shared_hit_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

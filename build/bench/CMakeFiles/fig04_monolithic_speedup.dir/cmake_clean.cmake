@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_monolithic_speedup.dir/fig04_monolithic_speedup.cc.o"
+  "CMakeFiles/fig04_monolithic_speedup.dir/fig04_monolithic_speedup.cc.o.d"
+  "fig04_monolithic_speedup"
+  "fig04_monolithic_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_monolithic_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

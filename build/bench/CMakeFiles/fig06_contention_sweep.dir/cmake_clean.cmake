@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_contention_sweep.dir/fig06_contention_sweep.cc.o"
+  "CMakeFiles/fig06_contention_sweep.dir/fig06_contention_sweep.cc.o.d"
+  "fig06_contention_sweep"
+  "fig06_contention_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_contention_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

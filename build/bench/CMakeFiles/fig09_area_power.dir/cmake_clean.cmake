@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_area_power.dir/fig09_area_power.cc.o"
+  "CMakeFiles/fig09_area_power.dir/fig09_area_power.cc.o.d"
+  "fig09_area_power"
+  "fig09_area_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_area_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

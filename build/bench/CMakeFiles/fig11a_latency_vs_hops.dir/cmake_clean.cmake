@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11a_latency_vs_hops.dir/fig11a_latency_vs_hops.cc.o"
+  "CMakeFiles/fig11a_latency_vs_hops.dir/fig11a_latency_vs_hops.cc.o.d"
+  "fig11a_latency_vs_hops"
+  "fig11a_latency_vs_hops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11a_latency_vs_hops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11b_energy_vs_hops.dir/fig11b_energy_vs_hops.cc.o"
+  "CMakeFiles/fig11b_energy_vs_hops.dir/fig11b_energy_vs_hops.cc.o.d"
+  "fig11b_energy_vs_hops"
+  "fig11b_energy_vs_hops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11b_energy_vs_hops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

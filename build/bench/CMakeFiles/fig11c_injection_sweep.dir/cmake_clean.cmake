@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11c_injection_sweep.dir/fig11c_injection_sweep.cc.o"
+  "CMakeFiles/fig11c_injection_sweep.dir/fig11c_injection_sweep.cc.o.d"
+  "fig11c_injection_sweep"
+  "fig11c_injection_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11c_injection_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

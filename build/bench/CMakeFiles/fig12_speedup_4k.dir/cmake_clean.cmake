@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_speedup_4k.dir/fig12_speedup_4k.cc.o"
+  "CMakeFiles/fig12_speedup_4k.dir/fig12_speedup_4k.cc.o.d"
+  "fig12_speedup_4k"
+  "fig12_speedup_4k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_speedup_4k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

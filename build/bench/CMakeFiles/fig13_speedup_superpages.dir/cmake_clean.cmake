@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_speedup_superpages.dir/fig13_speedup_superpages.cc.o"
+  "CMakeFiles/fig13_speedup_superpages.dir/fig13_speedup_superpages.cc.o.d"
+  "fig13_speedup_superpages"
+  "fig13_speedup_superpages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_speedup_superpages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

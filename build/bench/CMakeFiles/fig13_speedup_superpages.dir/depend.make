@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_speedup_superpages.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_scalability_energy.dir/fig14_scalability_energy.cc.o"
+  "CMakeFiles/fig14_scalability_energy.dir/fig14_scalability_energy.cc.o.d"
+  "fig14_scalability_energy"
+  "fig14_scalability_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_scalability_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

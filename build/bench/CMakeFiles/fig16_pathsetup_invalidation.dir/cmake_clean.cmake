@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_pathsetup_invalidation.dir/fig16_pathsetup_invalidation.cc.o"
+  "CMakeFiles/fig16_pathsetup_invalidation.dir/fig16_pathsetup_invalidation.cc.o.d"
+  "fig16_pathsetup_invalidation"
+  "fig16_pathsetup_invalidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_pathsetup_invalidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

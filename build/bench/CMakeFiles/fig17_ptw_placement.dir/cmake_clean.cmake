@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_ptw_placement.dir/fig17_ptw_placement.cc.o"
+  "CMakeFiles/fig17_ptw_placement.dir/fig17_ptw_placement.cc.o.d"
+  "fig17_ptw_placement"
+  "fig17_ptw_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_ptw_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

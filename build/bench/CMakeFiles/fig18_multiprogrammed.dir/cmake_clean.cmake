@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_multiprogrammed.dir/fig18_multiprogrammed.cc.o"
+  "CMakeFiles/fig18_multiprogrammed.dir/fig18_multiprogrammed.cc.o.d"
+  "fig18_multiprogrammed"
+  "fig18_multiprogrammed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_multiprogrammed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

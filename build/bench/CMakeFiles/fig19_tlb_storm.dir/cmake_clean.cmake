@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_tlb_storm.dir/fig19_tlb_storm.cc.o"
+  "CMakeFiles/fig19_tlb_storm.dir/fig19_tlb_storm.cc.o.d"
+  "fig19_tlb_storm"
+  "fig19_tlb_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_tlb_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

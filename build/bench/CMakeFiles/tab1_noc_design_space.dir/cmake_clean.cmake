@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_noc_design_space.dir/tab1_noc_design_space.cc.o"
+  "CMakeFiles/tab1_noc_design_space.dir/tab1_noc_design_space.cc.o.d"
+  "tab1_noc_design_space"
+  "tab1_noc_design_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_noc_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_configurations.dir/tab2_configurations.cc.o"
+  "CMakeFiles/tab2_configurations.dir/tab2_configurations.cc.o.d"
+  "tab2_configurations"
+  "tab2_configurations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_configurations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_sensitivity.dir/tab3_sensitivity.cc.o"
+  "CMakeFiles/tab3_sensitivity.dir/tab3_sensitivity.cc.o.d"
+  "tab3_sensitivity"
+  "tab3_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_space_study.dir/design_space_study.cpp.o"
+  "CMakeFiles/design_space_study.dir/design_space_study.cpp.o.d"
+  "design_space_study"
+  "design_space_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_space_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shootdown_storm.dir/shootdown_storm.cpp.o"
+  "CMakeFiles/shootdown_storm.dir/shootdown_storm.cpp.o.d"
+  "shootdown_storm"
+  "shootdown_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shootdown_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

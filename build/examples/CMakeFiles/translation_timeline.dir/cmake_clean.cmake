@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translation_timeline.dir/translation_timeline.cpp.o"
+  "CMakeFiles/translation_timeline.dir/translation_timeline.cpp.o.d"
+  "translation_timeline"
+  "translation_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translation_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

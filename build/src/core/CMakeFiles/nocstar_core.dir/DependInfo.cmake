@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/distributed_org.cc" "src/core/CMakeFiles/nocstar_core.dir/distributed_org.cc.o" "gcc" "src/core/CMakeFiles/nocstar_core.dir/distributed_org.cc.o.d"
+  "/root/repo/src/core/fabric.cc" "src/core/CMakeFiles/nocstar_core.dir/fabric.cc.o" "gcc" "src/core/CMakeFiles/nocstar_core.dir/fabric.cc.o.d"
+  "/root/repo/src/core/monolithic_org.cc" "src/core/CMakeFiles/nocstar_core.dir/monolithic_org.cc.o" "gcc" "src/core/CMakeFiles/nocstar_core.dir/monolithic_org.cc.o.d"
+  "/root/repo/src/core/nocstar_org.cc" "src/core/CMakeFiles/nocstar_core.dir/nocstar_org.cc.o" "gcc" "src/core/CMakeFiles/nocstar_core.dir/nocstar_org.cc.o.d"
+  "/root/repo/src/core/org_factory.cc" "src/core/CMakeFiles/nocstar_core.dir/org_factory.cc.o" "gcc" "src/core/CMakeFiles/nocstar_core.dir/org_factory.cc.o.d"
+  "/root/repo/src/core/organization.cc" "src/core/CMakeFiles/nocstar_core.dir/organization.cc.o" "gcc" "src/core/CMakeFiles/nocstar_core.dir/organization.cc.o.d"
+  "/root/repo/src/core/private_org.cc" "src/core/CMakeFiles/nocstar_core.dir/private_org.cc.o" "gcc" "src/core/CMakeFiles/nocstar_core.dir/private_org.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/nocstar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/nocstar_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/nocstar_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/nocstar_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/nocstar_energy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nocstar_core.dir/distributed_org.cc.o"
+  "CMakeFiles/nocstar_core.dir/distributed_org.cc.o.d"
+  "CMakeFiles/nocstar_core.dir/fabric.cc.o"
+  "CMakeFiles/nocstar_core.dir/fabric.cc.o.d"
+  "CMakeFiles/nocstar_core.dir/monolithic_org.cc.o"
+  "CMakeFiles/nocstar_core.dir/monolithic_org.cc.o.d"
+  "CMakeFiles/nocstar_core.dir/nocstar_org.cc.o"
+  "CMakeFiles/nocstar_core.dir/nocstar_org.cc.o.d"
+  "CMakeFiles/nocstar_core.dir/org_factory.cc.o"
+  "CMakeFiles/nocstar_core.dir/org_factory.cc.o.d"
+  "CMakeFiles/nocstar_core.dir/organization.cc.o"
+  "CMakeFiles/nocstar_core.dir/organization.cc.o.d"
+  "CMakeFiles/nocstar_core.dir/private_org.cc.o"
+  "CMakeFiles/nocstar_core.dir/private_org.cc.o.d"
+  "libnocstar_core.a"
+  "libnocstar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nocstar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for nocstar_core.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nocstar_cpu.dir/system.cc.o"
+  "CMakeFiles/nocstar_cpu.dir/system.cc.o.d"
+  "libnocstar_cpu.a"
+  "libnocstar_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nocstar_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnocstar_cpu.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nocstar_energy.dir/noc_energy.cc.o"
+  "CMakeFiles/nocstar_energy.dir/noc_energy.cc.o.d"
+  "CMakeFiles/nocstar_energy.dir/sram_model.cc.o"
+  "CMakeFiles/nocstar_energy.dir/sram_model.cc.o.d"
+  "libnocstar_energy.a"
+  "libnocstar_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nocstar_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

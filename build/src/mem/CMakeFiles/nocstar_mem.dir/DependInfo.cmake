@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache_model.cc" "src/mem/CMakeFiles/nocstar_mem.dir/cache_model.cc.o" "gcc" "src/mem/CMakeFiles/nocstar_mem.dir/cache_model.cc.o.d"
+  "/root/repo/src/mem/page_table.cc" "src/mem/CMakeFiles/nocstar_mem.dir/page_table.cc.o" "gcc" "src/mem/CMakeFiles/nocstar_mem.dir/page_table.cc.o.d"
+  "/root/repo/src/mem/page_walker.cc" "src/mem/CMakeFiles/nocstar_mem.dir/page_walker.cc.o" "gcc" "src/mem/CMakeFiles/nocstar_mem.dir/page_walker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/nocstar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/nocstar_energy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nocstar_mem.dir/cache_model.cc.o"
+  "CMakeFiles/nocstar_mem.dir/cache_model.cc.o.d"
+  "CMakeFiles/nocstar_mem.dir/page_table.cc.o"
+  "CMakeFiles/nocstar_mem.dir/page_table.cc.o.d"
+  "CMakeFiles/nocstar_mem.dir/page_walker.cc.o"
+  "CMakeFiles/nocstar_mem.dir/page_walker.cc.o.d"
+  "libnocstar_mem.a"
+  "libnocstar_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nocstar_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nocstar_noc.dir/design_space.cc.o"
+  "CMakeFiles/nocstar_noc.dir/design_space.cc.o.d"
+  "libnocstar_noc.a"
+  "libnocstar_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nocstar_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

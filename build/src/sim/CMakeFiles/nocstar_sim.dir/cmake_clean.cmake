@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nocstar_sim.dir/event_queue.cc.o"
+  "CMakeFiles/nocstar_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/nocstar_sim.dir/random.cc.o"
+  "CMakeFiles/nocstar_sim.dir/random.cc.o.d"
+  "CMakeFiles/nocstar_sim.dir/stats.cc.o"
+  "CMakeFiles/nocstar_sim.dir/stats.cc.o.d"
+  "libnocstar_sim.a"
+  "libnocstar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nocstar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

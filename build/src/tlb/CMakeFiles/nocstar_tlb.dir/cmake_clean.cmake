@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nocstar_tlb.dir/l1_tlb.cc.o"
+  "CMakeFiles/nocstar_tlb.dir/l1_tlb.cc.o.d"
+  "CMakeFiles/nocstar_tlb.dir/set_assoc_tlb.cc.o"
+  "CMakeFiles/nocstar_tlb.dir/set_assoc_tlb.cc.o.d"
+  "libnocstar_tlb.a"
+  "libnocstar_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nocstar_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nocstar_workload.dir/generator.cc.o"
+  "CMakeFiles/nocstar_workload.dir/generator.cc.o.d"
+  "CMakeFiles/nocstar_workload.dir/spec.cc.o"
+  "CMakeFiles/nocstar_workload.dir/spec.cc.o.d"
+  "CMakeFiles/nocstar_workload.dir/trace.cc.o"
+  "CMakeFiles/nocstar_workload.dir/trace.cc.o.d"
+  "libnocstar_workload.a"
+  "libnocstar_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nocstar_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

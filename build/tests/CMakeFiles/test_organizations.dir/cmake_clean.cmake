@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_organizations.dir/test_organizations.cc.o"
+  "CMakeFiles/test_organizations.dir/test_organizations.cc.o.d"
+  "test_organizations"
+  "test_organizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_organizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
