@@ -1,18 +1,33 @@
 /**
  * @file
  * Shared helpers for the figure/table regeneration harnesses: standard
- * system configurations (paper Table II / §IV methodology) and simple
- * fixed-width table printing.
+ * system configurations (paper Table II / §IV methodology), simple
+ * fixed-width table printing, and the parallel sweep runner.
+ *
+ * Sweeps run through SweepHarness::runMany(), which fans the
+ * independent simulations out over a thread pool (--jobs flag /
+ * NOCSTAR_JOBS env var, hardware concurrency by default). Results come
+ * back in input order and each simulation is deterministic given its
+ * config, so a bench's stdout is byte-identical at any job count; all
+ * timing output goes to stderr and a machine-readable BENCH_<name>.json
+ * so the perf trajectory can be tracked across PRs without perturbing
+ * the tables.
  */
 
 #ifndef NOCSTAR_BENCH_COMMON_HH
 #define NOCSTAR_BENCH_COMMON_HH
 
+#include <array>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cpu/system.hh"
+#include "sim/parallel.hh"
 #include "workload/spec.hh"
 
 namespace nocstar::bench
@@ -50,6 +65,30 @@ makeConfig(core::OrgKind kind, unsigned cores,
     return config;
 }
 
+/**
+ * Multiprogrammed-mix configuration (Fig 18 and friends): the apps
+ * named by @p combo, each running cores/4 threads, with the seed the
+ * paper sweep derives from the combination itself.
+ */
+inline cpu::SystemConfig
+makeMixConfig(const std::array<std::size_t, 4> &combo, core::OrgKind kind,
+              unsigned cores)
+{
+    cpu::SystemConfig config;
+    config.org.kind = kind;
+    config.org.numCores = cores;
+    config.org.banks = banksFor(cores);
+    for (std::size_t w : combo) {
+        cpu::AppConfig app;
+        app.spec = workload::paperWorkloads()[w];
+        app.threads = cores / 4;
+        config.apps.push_back(std::move(app));
+    }
+    config.seed = 9000 + combo[0] * 1331 + combo[1] * 121 +
+                  combo[2] * 11 + combo[3];
+    return config;
+}
+
 /** Run one configuration and return the result. */
 inline cpu::RunResult
 runOnce(const cpu::SystemConfig &config,
@@ -58,6 +97,127 @@ runOnce(const cpu::SystemConfig &config,
     cpu::System system(config);
     return system.run(accesses);
 }
+
+/** One simulation of a sweep: a configuration plus its run length. */
+struct SimJob
+{
+    cpu::SystemConfig config;
+    std::uint64_t accesses = defaultAccesses;
+};
+
+/** Command-line arguments shared by every sweep bench. */
+struct BenchArgs
+{
+    std::uint64_t accesses;
+    unsigned jobs;
+};
+
+/**
+ * Parse `[accesses] [--jobs N | --jobs=N]` in any order. An absent
+ * --jobs falls back to NOCSTAR_JOBS, then hardware concurrency.
+ */
+inline BenchArgs
+parseBenchArgs(int argc, char **argv, std::uint64_t default_accesses)
+{
+    BenchArgs args{default_accesses, 0};
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
+            args.jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+            args.jobs = static_cast<unsigned>(std::atoi(arg + 7));
+        } else if (arg[0] != '-') {
+            args.accesses =
+                static_cast<std::uint64_t>(std::atoll(arg));
+        }
+    }
+    if (args.jobs == 0)
+        args.jobs = sim::defaultJobs();
+    return args;
+}
+
+/**
+ * Wall-clock accounting and the worker pool for one bench's sweeps.
+ * On finish() (or destruction) it prints a summary to stderr and
+ * writes BENCH_<name>.json into the working directory.
+ */
+class SweepHarness
+{
+  public:
+    SweepHarness(std::string name, unsigned jobs)
+        : name_(std::move(name)), pool_(jobs),
+          start_(std::chrono::steady_clock::now())
+    {}
+
+    ~SweepHarness() { finish(); }
+
+    SweepHarness(const SweepHarness &) = delete;
+    SweepHarness &operator=(const SweepHarness &) = delete;
+
+    unsigned jobs() const { return pool_.size() > 0 ? pool_.size() : 1; }
+
+    /**
+     * Run every job on the pool; results are returned in input order,
+     * so downstream printing is independent of the job count.
+     */
+    std::vector<cpu::RunResult>
+    runMany(const std::vector<SimJob> &jobs)
+    {
+        auto results = pool_.map(jobs, [](const SimJob &job) {
+            return runOnce(job.config, job.accesses);
+        });
+        simsRun_ += results.size();
+        for (const cpu::RunResult &r : results)
+            simCycles_ += r.cycles;
+        return results;
+    }
+
+    /** Write the timing artifacts; idempotent. */
+    void
+    finish()
+    {
+        if (finished_)
+            return;
+        finished_ = true;
+        double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+        double rate = wall > 0 ? static_cast<double>(simCycles_) / wall
+                               : 0.0;
+        std::fprintf(stderr,
+                     "[%s] %llu sims on %u jobs in %.2fs "
+                     "(%.3g sim-cycles/s)\n",
+                     name_.c_str(),
+                     static_cast<unsigned long long>(simsRun_), jobs(),
+                     wall, rate);
+
+        std::string path = "BENCH_" + name_ + ".json";
+        if (std::FILE *f = std::fopen(path.c_str(), "w")) {
+            std::fprintf(f,
+                         "{\"bench\": \"%s\", \"jobs\": %u, "
+                         "\"sims\": %llu, \"wall_seconds\": %.6f, "
+                         "\"sim_cycles\": %llu, "
+                         "\"sim_cycles_per_sec\": %.1f}\n",
+                         name_.c_str(), jobs(),
+                         static_cast<unsigned long long>(simsRun_),
+                         wall,
+                         static_cast<unsigned long long>(simCycles_),
+                         rate);
+            std::fclose(f);
+        } else {
+            std::fprintf(stderr, "[%s] cannot write %s\n",
+                         name_.c_str(), path.c_str());
+        }
+    }
+
+  private:
+    std::string name_;
+    sim::ThreadPool pool_;
+    std::chrono::steady_clock::time_point start_;
+    std::uint64_t simsRun_ = 0;
+    std::uint64_t simCycles_ = 0;
+    bool finished_ = false;
+};
 
 /** Speedup of @p config against a private-L2-TLB baseline. */
 inline double

@@ -15,8 +15,7 @@ int
 main(int argc, char **argv)
 {
     constexpr unsigned cores = 16;
-    std::uint64_t accesses = argc > 1
-        ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 12000;
+    auto args = bench::parseBenchArgs(argc, argv, 12000);
 
     std::printf("Fig 13: speedup vs private L2 TLBs, 16 cores, "
                 "transparent superpages\n");
@@ -24,23 +23,32 @@ main(int argc, char **argv)
                        {"mono", "dist", "nocstar", "ideal"});
 
     const core::OrgKind kinds[] = {
-        core::OrgKind::MonolithicMesh, core::OrgKind::Distributed,
-        core::OrgKind::Nocstar, core::OrgKind::IdealShared};
+        core::OrgKind::Private, core::OrgKind::MonolithicMesh,
+        core::OrgKind::Distributed, core::OrgKind::Nocstar,
+        core::OrgKind::IdealShared};
+    constexpr std::size_t numKinds = 5;
+
+    const auto &specs = workload::paperWorkloads();
+    std::vector<bench::SimJob> jobs;
+    for (const auto &spec : specs)
+        for (core::OrgKind kind : kinds)
+            jobs.push_back(
+                {bench::makeConfig(kind, cores, spec), args.accesses});
+
+    bench::SweepHarness harness("fig13_speedup_superpages", args.jobs);
+    auto results = harness.runMany(jobs);
 
     std::vector<double> averages(4, 0.0);
-    for (const auto &spec : workload::paperWorkloads()) {
-        auto priv = bench::runOnce(
-            bench::makeConfig(core::OrgKind::Private, cores, spec),
-            accesses);
+    for (std::size_t w = 0; w < specs.size(); ++w) {
+        const auto &priv = results[w * numKinds];
         std::vector<double> row;
-        for (std::size_t i = 0; i < 4; ++i) {
-            auto result = bench::runOnce(
-                bench::makeConfig(kinds[i], cores, spec), accesses);
-            double speedup = bench::speedupVsPrivate(priv, result);
+        for (std::size_t i = 1; i < numKinds; ++i) {
+            double speedup = bench::speedupVsPrivate(
+                priv, results[w * numKinds + i]);
             row.push_back(speedup);
-            averages[i] += speedup / 11.0;
+            averages[i - 1] += speedup / 11.0;
         }
-        bench::printRow(spec.name, row);
+        bench::printRow(specs[w].name, row);
     }
     bench::printRow("average", averages);
     return 0;

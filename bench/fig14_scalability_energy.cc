@@ -16,48 +16,62 @@ using namespace nocstar;
 int
 main(int argc, char **argv)
 {
-    std::uint64_t base_accesses = argc > 1
-        ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 10000;
+    auto args = bench::parseBenchArgs(argc, argv, 10000);
 
+    const unsigned coreCounts[] = {16u, 32u, 64u};
     const core::OrgKind kinds[] = {core::OrgKind::MonolithicMesh,
                                    core::OrgKind::Distributed,
                                    core::OrgKind::Nocstar};
     const char *names[] = {"monolithic", "distributed", "nocstar"};
 
+    // Per core count: 11 private baselines then 3 x 11 shared runs,
+    // all independent. Index layout within a core-count block:
+    // [w] private, [11 + k*11 + w] shared org k on workload w.
+    const auto &specs = workload::paperWorkloads();
+    const std::size_t numSpecs = specs.size();
+    const std::size_t block = numSpecs * 4;
+
+    std::vector<bench::SimJob> jobs;
+    for (unsigned cores : coreCounts) {
+        std::uint64_t accesses = args.accesses * 16 / cores + 2000;
+        for (const auto &spec : specs)
+            jobs.push_back({bench::makeConfig(core::OrgKind::Private,
+                                              cores, spec),
+                            accesses});
+        for (core::OrgKind kind : kinds)
+            for (const auto &spec : specs)
+                jobs.push_back(
+                    {bench::makeConfig(kind, cores, spec), accesses});
+    }
+
+    bench::SweepHarness harness("fig14_scalability_energy", args.jobs);
+    auto results = harness.runMany(jobs);
+
     std::printf("Fig 14: scalability and translation energy savings\n");
     std::printf("%8s %-12s %8s %8s %8s %14s\n", "cores", "org", "min",
                 "avg", "max", "energy saved%");
 
-    for (unsigned cores : {16u, 32u, 64u}) {
-        std::uint64_t accesses = base_accesses * 16 / cores + 2000;
-        // Private baselines per workload.
-        std::vector<cpu::RunResult> priv;
-        for (const auto &spec : workload::paperWorkloads())
-            priv.push_back(bench::runOnce(
-                bench::makeConfig(core::OrgKind::Private, cores, spec),
-                accesses));
-
+    for (std::size_t c = 0; c < 3; ++c) {
+        const cpu::RunResult *base = results.data() + c * block;
         for (std::size_t k = 0; k < 3; ++k) {
+            const cpu::RunResult *shared =
+                base + numSpecs * (1 + k);
             double min_speedup = 1e9, max_speedup = 0, avg_speedup = 0;
             double avg_saved = 0;
-            for (std::size_t w = 0; w < priv.size(); ++w) {
-                auto result = bench::runOnce(
-                    bench::makeConfig(kinds[k], cores,
-                                      workload::paperWorkloads()[w]),
-                    accesses);
+            for (std::size_t w = 0; w < numSpecs; ++w) {
                 double speedup =
-                    bench::speedupVsPrivate(priv[w], result);
+                    bench::speedupVsPrivate(base[w], shared[w]);
                 min_speedup = std::min(min_speedup, speedup);
                 max_speedup = std::max(max_speedup, speedup);
                 avg_speedup += speedup / 11.0;
                 avg_saved += 100.0 *
-                             (1.0 - result.energyPj /
-                                        priv[w].energyPj) /
+                             (1.0 - shared[w].energyPj /
+                                        base[w].energyPj) /
                              11.0;
             }
-            std::printf("%8u %-12s %8.3f %8.3f %8.3f %14.1f\n", cores,
-                        names[k], min_speedup, avg_speedup,
-                        max_speedup, avg_saved);
+            std::printf("%8u %-12s %8.3f %8.3f %8.3f %14.1f\n",
+                        coreCounts[c], names[k], min_speedup,
+                        avg_speedup, max_speedup, avg_saved);
         }
     }
     return 0;

@@ -17,8 +17,7 @@ int
 main(int argc, char **argv)
 {
     constexpr unsigned cores = 32;
-    std::uint64_t accesses = argc > 1
-        ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 8000;
+    auto args = bench::parseBenchArgs(argc, argv, 8000);
 
     std::printf("Fig 15: speedup vs private L2 TLBs, 32 cores\n");
     bench::printHeader("workload",
@@ -26,27 +25,37 @@ main(int argc, char **argv)
                         "nstarIdl", "ideal"});
 
     const core::OrgKind kinds[] = {
-        core::OrgKind::MonolithicMesh, core::OrgKind::MonolithicSmart,
-        core::OrgKind::Distributed, core::OrgKind::Nocstar,
-        core::OrgKind::NocstarIdeal, core::OrgKind::IdealShared};
+        core::OrgKind::Private, core::OrgKind::MonolithicMesh,
+        core::OrgKind::MonolithicSmart, core::OrgKind::Distributed,
+        core::OrgKind::Nocstar, core::OrgKind::NocstarIdeal,
+        core::OrgKind::IdealShared};
+    constexpr std::size_t numKinds = 7;
+
+    const auto &specs = workload::paperWorkloads();
+    std::vector<bench::SimJob> jobs;
+    for (const auto &spec : specs)
+        for (core::OrgKind kind : kinds)
+            jobs.push_back(
+                {bench::makeConfig(kind, cores, spec), args.accesses});
+
+    bench::SweepHarness harness("fig15_interconnect_breakdown",
+                                args.jobs);
+    auto results = harness.runMany(jobs);
 
     std::vector<double> averages(6, 0.0);
     double avg_net_latency = 0;
-    for (const auto &spec : workload::paperWorkloads()) {
-        auto priv = bench::runOnce(
-            bench::makeConfig(core::OrgKind::Private, cores, spec),
-            accesses);
+    for (std::size_t w = 0; w < specs.size(); ++w) {
+        const auto &priv = results[w * numKinds];
         std::vector<double> row;
-        for (std::size_t i = 0; i < 6; ++i) {
-            auto result = bench::runOnce(
-                bench::makeConfig(kinds[i], cores, spec), accesses);
+        for (std::size_t i = 1; i < numKinds; ++i) {
+            const auto &result = results[w * numKinds + i];
             double speedup = bench::speedupVsPrivate(priv, result);
             row.push_back(speedup);
-            averages[i] += speedup / 11.0;
+            averages[i - 1] += speedup / 11.0;
             if (kinds[i] == core::OrgKind::Nocstar)
                 avg_net_latency += result.fabricAvgLatency / 11.0;
         }
-        bench::printRow(spec.name, row);
+        bench::printRow(specs[w].name, row);
     }
     bench::printRow("average", averages);
     std::printf("\nNOCSTAR average fabric latency: %.2f cycles "

@@ -8,7 +8,8 @@
  *
  * Output prints the sorted curves at sampled percentiles plus the
  * headline statistics the paper quotes (fraction of combinations
- * degraded, worst case).
+ * degraded, worst case). The 1,320 simulations are independent and
+ * run across the sweep thread pool.
  */
 
 #include <algorithm>
@@ -23,47 +24,13 @@ using namespace nocstar;
 namespace
 {
 
-struct ComboResult
-{
-    double throughputSpeedup;
-    double minAppSpeedup;
-};
-
-ComboResult
-runCombo(const std::array<std::size_t, 4> &combo, core::OrgKind kind,
-         const cpu::RunResult &priv_result, std::uint64_t accesses)
-{
-    cpu::SystemConfig config;
-    config.org.kind = kind;
-    config.org.numCores = 32;
-    config.org.banks = bench::banksFor(32);
-    for (std::size_t w : combo) {
-        cpu::AppConfig app;
-        app.spec = workload::paperWorkloads()[w];
-        app.threads = 8;
-        config.apps.push_back(std::move(app));
-    }
-    config.seed = 9000 + combo[0] * 1331 + combo[1] * 121 +
-                  combo[2] * 11 + combo[3];
-    cpu::System system(config);
-    auto result = system.run(accesses);
-
-    ComboResult out;
-    out.throughputSpeedup = priv_result.meanCycles / result.meanCycles;
-    double min_ratio = 1e9;
-    for (std::size_t a = 0; a < 4; ++a) {
-        double ratio = result.appIpc[a] > 0
-            ? result.appIpc[a] / priv_result.appIpc[a]
-            : 0.0;
-        min_ratio = std::min(min_ratio, ratio);
-    }
-    out.minAppSpeedup = min_ratio;
-    return out;
-}
-
 void
 printCurve(const char *label, std::vector<double> values)
 {
+    if (values.empty()) {
+        std::printf("%-12s (no data)\n", label);
+        return;
+    }
     std::sort(values.begin(), values.end());
     std::printf("%-12s", label);
     for (double pct : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
@@ -83,8 +50,7 @@ printCurve(const char *label, std::vector<double> values)
 int
 main(int argc, char **argv)
 {
-    std::uint64_t accesses = argc > 1
-        ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 2500;
+    auto args = bench::parseBenchArgs(argc, argv, 2500);
 
     // Enumerate all C(11,4) combinations.
     std::vector<std::array<std::size_t, 4>> combos;
@@ -96,33 +62,38 @@ main(int argc, char **argv)
     std::printf("Fig 18: %zu multiprogrammed combinations, 32 cores\n",
                 combos.size());
 
-    const core::OrgKind kinds[] = {core::OrgKind::MonolithicMesh,
-                                   core::OrgKind::Distributed,
-                                   core::OrgKind::Nocstar};
+    // Per combo: the private baseline then the three shared
+    // organizations, every simulation independent of the rest.
+    const core::OrgKind kinds[] = {
+        core::OrgKind::Private, core::OrgKind::MonolithicMesh,
+        core::OrgKind::Distributed, core::OrgKind::Nocstar};
     const char *names[] = {"monolithic", "distributed", "nocstar"};
+    constexpr std::size_t numKinds = 4;
+
+    std::vector<bench::SimJob> jobs;
+    for (const auto &combo : combos)
+        for (core::OrgKind kind : kinds)
+            jobs.push_back({bench::makeMixConfig(combo, kind, 32),
+                            args.accesses});
+
+    bench::SweepHarness harness("fig18_multiprogrammed", args.jobs);
+    auto results = harness.runMany(jobs);
 
     std::vector<std::vector<double>> throughput(3), min_app(3);
-    for (const auto &combo : combos) {
-        // Private baseline for this combination.
-        cpu::SystemConfig priv_config;
-        priv_config.org.kind = core::OrgKind::Private;
-        priv_config.org.numCores = 32;
-        for (std::size_t w : combo) {
-            cpu::AppConfig app;
-            app.spec = workload::paperWorkloads()[w];
-            app.threads = 8;
-            priv_config.apps.push_back(std::move(app));
-        }
-        priv_config.seed = 9000 + combo[0] * 1331 + combo[1] * 121 +
-                           combo[2] * 11 + combo[3];
-        cpu::System priv_system(priv_config);
-        auto priv_result = priv_system.run(accesses);
-
+    for (std::size_t c = 0; c < combos.size(); ++c) {
+        const auto &priv = results[c * numKinds];
         for (std::size_t k = 0; k < 3; ++k) {
-            ComboResult r = runCombo(combo, kinds[k], priv_result,
-                                     accesses);
-            throughput[k].push_back(r.throughputSpeedup);
-            min_app[k].push_back(r.minAppSpeedup);
+            const auto &result = results[c * numKinds + 1 + k];
+            throughput[k].push_back(priv.meanCycles /
+                                    result.meanCycles);
+            double min_ratio = 1e9;
+            for (std::size_t a = 0; a < 4; ++a) {
+                double ratio = result.appIpc[a] > 0
+                    ? result.appIpc[a] / priv.appIpc[a]
+                    : 0.0;
+                min_ratio = std::min(min_ratio, ratio);
+            }
+            min_app[k].push_back(min_ratio);
         }
     }
 

@@ -27,49 +27,12 @@ struct Row
     std::function<void(cpu::SystemConfig &)> tweak;
 };
 
-void
-runRow(const Row &row, std::uint64_t accesses)
-{
-    const core::OrgKind kinds[] = {core::OrgKind::MonolithicMesh,
-                                   core::OrgKind::Distributed,
-                                   core::OrgKind::Nocstar};
-    const char *names[] = {"monolithic", "distributed", "nocstar"};
-
-    double min_s[3] = {1e9, 1e9, 1e9};
-    double avg_s[3] = {0, 0, 0};
-    double max_s[3] = {0, 0, 0};
-
-    for (const auto &spec : workload::paperWorkloads()) {
-        auto make = [&](core::OrgKind kind) {
-            auto config = bench::makeConfig(kind, 32, spec);
-            if (row.tweak)
-                row.tweak(config);
-            return config;
-        };
-        auto priv = bench::runOnce(make(core::OrgKind::Private),
-                                   accesses);
-        for (int k = 0; k < 3; ++k) {
-            auto result = bench::runOnce(make(kinds[k]), accesses);
-            double s = bench::speedupVsPrivate(priv, result);
-            min_s[k] = std::min(min_s[k], s);
-            max_s[k] = std::max(max_s[k], s);
-            avg_s[k] += s / 11.0;
-        }
-    }
-    for (int k = 0; k < 3; ++k) {
-        std::printf("%-6s %-4s %-10s %-12s %7.2f %7.2f %7.2f\n",
-                    row.pref, row.smt, row.ptw, names[k], min_s[k],
-                    avg_s[k], max_s[k]);
-    }
-}
-
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    std::uint64_t accesses = argc > 1
-        ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 3000;
+    auto args = bench::parseBenchArgs(argc, argv, 3000);
 
     std::printf("Table III: 32-core sensitivity (speedups vs private "
                 "with the same features)\n");
@@ -106,7 +69,52 @@ main(int argc, char **argv)
         ++idx;
     }
 
-    for (const Row &row : rows)
-        runRow(row, accesses);
+    // Per row and workload: the private baseline then the three
+    // shared organizations, all with the row's tweak applied.
+    const core::OrgKind kinds[] = {
+        core::OrgKind::Private, core::OrgKind::MonolithicMesh,
+        core::OrgKind::Distributed, core::OrgKind::Nocstar};
+    const char *names[] = {"monolithic", "distributed", "nocstar"};
+    constexpr std::size_t numKinds = 4;
+
+    const auto &specs = workload::paperWorkloads();
+    std::vector<bench::SimJob> jobs;
+    for (const Row &row : rows) {
+        for (const auto &spec : specs) {
+            for (core::OrgKind kind : kinds) {
+                auto config = bench::makeConfig(kind, 32, spec);
+                if (row.tweak)
+                    row.tweak(config);
+                jobs.push_back({std::move(config), args.accesses});
+            }
+        }
+    }
+
+    bench::SweepHarness harness("tab3_sensitivity", args.jobs);
+    auto results = harness.runMany(jobs);
+
+    const std::size_t rowStride = specs.size() * numKinds;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        double min_s[3] = {1e9, 1e9, 1e9};
+        double avg_s[3] = {0, 0, 0};
+        double max_s[3] = {0, 0, 0};
+        for (std::size_t w = 0; w < specs.size(); ++w) {
+            const auto &priv =
+                results[r * rowStride + w * numKinds];
+            for (std::size_t k = 0; k < 3; ++k) {
+                double s = bench::speedupVsPrivate(
+                    priv,
+                    results[r * rowStride + w * numKinds + 1 + k]);
+                min_s[k] = std::min(min_s[k], s);
+                max_s[k] = std::max(max_s[k], s);
+                avg_s[k] += s / 11.0;
+            }
+        }
+        for (std::size_t k = 0; k < 3; ++k) {
+            std::printf("%-6s %-4s %-10s %-12s %7.2f %7.2f %7.2f\n",
+                        rows[r].pref, rows[r].smt, rows[r].ptw,
+                        names[k], min_s[k], avg_s[k], max_s[k]);
+        }
+    }
     return 0;
 }

@@ -44,6 +44,31 @@ NocstarFabric::NocstarFabric(const std::string &name, EventQueue &queue,
 {
     if (config_.hpcMax == 0)
         fatal("NOCSTAR fabric needs hpcMax >= 1");
+    buildPathTable();
+    contenders_.reserve(topo_.numTiles());
+}
+
+void
+NocstarFabric::buildPathTable()
+{
+    unsigned tiles = topo_.numTiles();
+    pathOffset_.assign(static_cast<std::size_t>(tiles) * tiles + 1, 0);
+    // Total link count across all pairs equals the sum of Manhattan
+    // distances; size once, then fill.
+    std::size_t total = 0;
+    for (CoreId src = 0; src < tiles; ++src)
+        for (CoreId dst = 0; dst < tiles; ++dst)
+            total += topo_.hops(src, dst);
+    pathLinks_.reserve(total);
+
+    for (CoreId src = 0; src < tiles; ++src) {
+        for (CoreId dst = 0; dst < tiles; ++dst) {
+            for (const noc::LinkId &link : topo_.xyPath(src, dst))
+                pathLinks_.push_back(link.flatten());
+            pathOffset_[pairIndex(src, dst) + 1] =
+                static_cast<std::uint32_t>(pathLinks_.size());
+        }
+    }
 }
 
 NocstarFabric::~NocstarFabric()
@@ -98,33 +123,35 @@ NocstarFabric::sendRoundTrip(CoreId src, CoreId dst, Cycle now,
 bool
 NocstarFabric::tryAcquire(const Request &req, Cycle now)
 {
-    auto path = topo_.xyPath(req.src, req.dst);
+    // Both directions come from the precomputed table; no per-attempt
+    // allocation on this path (it runs on every retry of every
+    // arbitration round). Note the XY reverse path dst -> src is not
+    // the mirrored forward path, so it has its own table entry.
+    std::span<const std::uint32_t> path = pathLinks(req.src, req.dst);
+    std::span<const std::uint32_t> reverse;
+    if (req.roundTrip)
+        reverse = pathLinks(req.dst, req.src);
+
     Cycle traversal = traversalCycles(static_cast<unsigned>(path.size()));
     // Round trip additionally holds the reverse path through the slice
     // access and the response traversal.
     Cycle hold = req.roundTrip ? 2 * traversal + req.holdExtra : traversal;
 
-    std::vector<noc::LinkId> reverse;
-    if (req.roundTrip)
-        reverse = topo_.xyPath(req.dst, req.src);
-
     if (!config_.ideal) {
-        for (const noc::LinkId &link : path) {
-            if (linkHeldUntil_[link.flatten()] > now)
+        for (std::uint32_t link : path) {
+            if (linkHeldUntil_[link] > now)
                 return false;
         }
-        for (const noc::LinkId &link : reverse) {
-            if (linkHeldUntil_[link.flatten()] > now)
+        for (std::uint32_t link : reverse) {
+            if (linkHeldUntil_[link] > now)
                 return false;
         }
     }
 
-    for (const noc::LinkId &link : path)
-        linkHeldUntil_[link.flatten()] =
-            std::max(linkHeldUntil_[link.flatten()], now + hold);
-    for (const noc::LinkId &link : reverse)
-        linkHeldUntil_[link.flatten()] =
-            std::max(linkHeldUntil_[link.flatten()], now + hold);
+    for (std::uint32_t link : path)
+        linkHeldUntil_[link] = std::max(linkHeldUntil_[link], now + hold);
+    for (std::uint32_t link : reverse)
+        linkHeldUntil_[link] = std::max(linkHeldUntil_[link], now + hold);
     return true;
 }
 
@@ -141,20 +168,19 @@ NocstarFabric::arbitrate()
         (now / config_.priorityEpoch) % tiles);
 
     // One eligible request per source: the oldest whose turn has come.
-    std::vector<CoreId> contenders;
-    contenders.reserve(tiles);
+    contenders_.clear();
     for (CoreId src = 0; src < tiles; ++src) {
         if (!pending_[src].empty() &&
             pending_[src].front().activeAt <= now)
-            contenders.push_back(src);
+            contenders_.push_back(src);
     }
-    std::sort(contenders.begin(), contenders.end(),
+    std::sort(contenders_.begin(), contenders_.end(),
               [&](CoreId a, CoreId b) {
                   return (a + tiles - rotation) % tiles <
                          (b + tiles - rotation) % tiles;
               });
 
-    for (CoreId src : contenders) {
+    for (CoreId src : contenders_) {
         Request &req = pending_[src].front();
         ++setupAttempts;
         if (!tryAcquire(req, now)) {
@@ -164,8 +190,7 @@ NocstarFabric::arbitrate()
             continue;
         }
 
-        auto path_hops = topo_.hops(req.src, req.dst);
-        Cycle traversal = traversalCycles(path_hops);
+        Cycle traversal = traversalCycles(pathHops(req.src, req.dst));
         Cycle arrival = now + traversal;
 
         ++messagesSent;

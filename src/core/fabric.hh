@@ -26,6 +26,7 @@
 
 #include <deque>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -86,6 +87,27 @@ class NocstarFabric : public stats::StatGroup
 
     const noc::GridTopology &topology() const { return topo_; }
 
+    /**
+     * Flattened link ids of the XY path src -> dst, from the table
+     * precomputed at construction (arbitration allocates nothing per
+     * attempt). Matches GridTopology::xyPath link-for-link.
+     */
+    std::span<const std::uint32_t>
+    pathLinks(CoreId src, CoreId dst) const
+    {
+        std::size_t pair = pairIndex(src, dst);
+        return {pathLinks_.data() + pathOffset_[pair],
+                pathOffset_[pair + 1] - pathOffset_[pair]};
+    }
+
+    /** Hop count of the precomputed XY path src -> dst. */
+    unsigned
+    pathHops(CoreId src, CoreId dst) const
+    {
+        std::size_t pair = pairIndex(src, dst);
+        return pathOffset_[pair + 1] - pathOffset_[pair];
+    }
+
     /** Traversal cycles for a granted path of @p hops hops. */
     Cycle
     traversalCycles(unsigned hops) const
@@ -143,12 +165,29 @@ class NocstarFabric : public stats::StatGroup
 
     void scheduleArbitration(Cycle when);
 
+    std::size_t
+    pairIndex(CoreId src, CoreId dst) const
+    {
+        return static_cast<std::size_t>(src) * topo_.numTiles() + dst;
+    }
+
+    /** Build pathLinks_/pathOffset_ from the topology (ctor only). */
+    void buildPathTable();
+
     EventQueue &queue_;
     noc::GridTopology topo_;
     FabricConfig config_;
 
     /** Cycle through which each directed link is held (exclusive). */
     std::vector<Cycle> linkHeldUntil_;
+    /**
+     * Precomputed XY paths for all (src, dst) pairs: the links of
+     * pair p live at pathLinks_[pathOffset_[p] .. pathOffset_[p+1]).
+     */
+    std::vector<std::uint32_t> pathOffset_;
+    std::vector<std::uint32_t> pathLinks_;
+    /** Scratch list of arbitrating sources, reused across rounds. */
+    std::vector<CoreId> contenders_;
     /** Per-source FIFO of waiting requests (one setup port each). */
     std::vector<std::deque<Request>> pending_;
     std::size_t numPending_ = 0;

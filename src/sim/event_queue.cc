@@ -5,8 +5,6 @@
 
 #include "sim/event_queue.hh"
 
-#include <algorithm>
-
 namespace nocstar
 {
 
@@ -18,9 +16,9 @@ Event::~Event()
 
 EventQueue::~EventQueue()
 {
-    // Owned lambda events may still be pending at teardown; detach them
-    // so their destructors do not trip the scheduled() assertion.
-    for (Event *ev : _owned) {
+    // Pooled lambda events may still be pending at teardown; detach
+    // them so their destructors do not trip the scheduled() assertion.
+    for (PooledLambdaEvent *ev : lambdaAll_) {
         ev->_scheduled = false;
         delete ev;
     }
@@ -111,19 +109,17 @@ void
 EventQueue::scheduleLambda(Cycle when, std::function<void()> fn,
                            Event::Priority prio)
 {
-    auto *ev = new LambdaEvent(std::move(fn), prio);
-    _owned.push_back(ev);
-    schedule(ev, when);
-
-    // Opportunistically reap owned events that have already run to keep
-    // the vector from growing without bound in long simulations.
-    if (_owned.size() > 4096) {
-        auto it = std::partition(_owned.begin(), _owned.end(),
-                                 [](Event *e) { return e->scheduled(); });
-        for (auto dead = it; dead != _owned.end(); ++dead)
-            delete *dead;
-        _owned.erase(it, _owned.end());
+    PooledLambdaEvent *ev;
+    if (!lambdaFree_.empty()) {
+        ev = lambdaFree_.back();
+        lambdaFree_.pop_back();
+    } else {
+        ev = new PooledLambdaEvent(this);
+        lambdaAll_.push_back(ev);
     }
+    ev->fn_ = std::move(fn);
+    ev->_priority = prio;
+    schedule(ev, when);
 }
 
 } // namespace nocstar

@@ -119,10 +119,19 @@ class EventQueue
     void runOneCycle();
 
     /**
-     * Schedule a one-shot callback; the queue owns the event's lifetime.
+     * Schedule a one-shot callback; the queue owns the event's
+     * lifetime. The backing events come from a free-list pool, so a
+     * steady-state simulation stops allocating per message: once the
+     * pool has grown to the peak number of in-flight callbacks, every
+     * subsequent call reuses a recycled event.
      */
     void scheduleLambda(Cycle when, std::function<void()> fn,
                         Event::Priority prio = Event::defaultPriority);
+
+    /** Pooled lambda events currently awaiting reuse (test hook). */
+    std::size_t freeLambdaEvents() const { return lambdaFree_.size(); }
+    /** Pooled lambda events ever allocated by this queue (test hook). */
+    std::size_t allocatedLambdaEvents() const { return lambdaAll_.size(); }
 
   private:
     struct Record
@@ -147,11 +156,41 @@ class EventQueue
     /** Pop and process the single front event. @return true if live. */
     bool serviceOne();
 
+    /**
+     * A recyclable one-shot callback event owned by the queue. On
+     * process() it releases itself back to the owner's free list
+     * before running the callback, so the callback itself may
+     * immediately reacquire (and reschedule) the same object.
+     */
+    class PooledLambdaEvent : public Event
+    {
+      public:
+        explicit PooledLambdaEvent(EventQueue *owner) : owner_(owner) {}
+
+        void
+        process() override
+        {
+            auto fn = std::move(fn_);
+            fn_ = nullptr;
+            owner_->lambdaFree_.push_back(this);
+            fn();
+        }
+
+      private:
+        friend class EventQueue;
+
+        EventQueue *owner_;
+        std::function<void()> fn_;
+    };
+
     std::priority_queue<Record, std::vector<Record>, std::greater<>> _queue;
     Cycle _curCycle = 0;
     std::uint64_t _nextSeq = 0;
     std::size_t _numScheduled = 0;
-    std::vector<Event *> _owned;
+    /** Recycled lambda events ready for the next scheduleLambda(). */
+    std::vector<PooledLambdaEvent *> lambdaFree_;
+    /** Every pooled event this queue ever allocated (for teardown). */
+    std::vector<PooledLambdaEvent *> lambdaAll_;
 
   public:
     ~EventQueue();

@@ -182,6 +182,29 @@ TEST(EventQueue, ManyLambdaEventsAreReaped)
         queue.scheduleLambda(static_cast<Cycle>(i), [&] { ++count; });
     queue.run();
     EXPECT_EQ(count, 10000u);
+    // Everything scheduled before running, so the pool grew to the
+    // in-flight peak; after the run every event is back on the free
+    // list awaiting reuse.
+    EXPECT_EQ(queue.allocatedLambdaEvents(), 10000u);
+    EXPECT_EQ(queue.freeLambdaEvents(), 10000u);
+}
+
+TEST(EventQueue, PooledLambdaEventsAreReused)
+{
+    // A steady-state message chain (each delivery schedules the next)
+    // must recycle a single pooled event instead of allocating one
+    // per scheduleLambda call.
+    EventQueue queue;
+    std::uint64_t count = 0;
+    std::function<void()> chain = [&] {
+        if (++count < 1000)
+            queue.scheduleLambda(queue.curCycle() + 1, chain);
+    };
+    queue.scheduleLambda(0, chain);
+    queue.run();
+    EXPECT_EQ(count, 1000u);
+    EXPECT_EQ(queue.allocatedLambdaEvents(), 1u);
+    EXPECT_EQ(queue.freeLambdaEvents(), 1u);
 }
 
 TEST(EventQueue, SizeTracksLiveEvents)

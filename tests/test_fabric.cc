@@ -221,6 +221,31 @@ TEST(Fabric, RetryDistributionRecorded)
     EXPECT_DOUBLE_EQ(h.fabric.averageLatency(), 3.5);
 }
 
+TEST(Fabric, PrecomputedPathTableMatchesTopology)
+{
+    // The arbitration hot path reads paths from a table built once at
+    // construction; it must agree link-for-link (and in hop count)
+    // with GridTopology::xyPath for every (src, dst) pair.
+    for (unsigned cores : {16u, 32u, 64u}) {
+        FabricHarness h(cores);
+        const noc::GridTopology &topo = h.fabric.topology();
+        for (CoreId src = 0; src < topo.numTiles(); ++src) {
+            for (CoreId dst = 0; dst < topo.numTiles(); ++dst) {
+                auto expected = topo.xyPath(src, dst);
+                auto table = h.fabric.pathLinks(src, dst);
+                ASSERT_EQ(table.size(), expected.size())
+                    << cores << " cores, " << src << " -> " << dst;
+                for (std::size_t i = 0; i < expected.size(); ++i)
+                    EXPECT_EQ(table[i], expected[i].flatten())
+                        << cores << " cores, " << src << " -> " << dst
+                        << " link " << i;
+                EXPECT_EQ(h.fabric.pathHops(src, dst),
+                          topo.hops(src, dst));
+            }
+        }
+    }
+}
+
 TEST(Fabric, ZeroHpcMaxIsFatal)
 {
     EventQueue queue;

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the sweep thread pool: result ordering, degenerate
+ * configurations (one worker, far more tasks than workers), the
+ * NOCSTAR_JOBS resolution, exception propagation, and the guarantee
+ * the whole parallel-runner design rests on -- identical simulations
+ * run concurrently produce identical results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "cpu/system.hh"
+#include "sim/parallel.hh"
+#include "workload/spec.hh"
+
+using namespace nocstar;
+
+namespace
+{
+
+std::vector<int>
+iota(int n)
+{
+    std::vector<int> items(n);
+    std::iota(items.begin(), items.end(), 0);
+    return items;
+}
+
+} // namespace
+
+TEST(Parallel, MapMatchesSerialLoopAtEveryWorkerCount)
+{
+    auto items = iota(200);
+    auto fn = [](const int &v) { return v * v + 7; };
+
+    std::vector<int> expected;
+    for (int v : items)
+        expected.push_back(fn(v));
+
+    for (unsigned jobs : {1u, 2u, 4u, 9u}) {
+        auto results = sim::parallelMap(items, fn, jobs);
+        EXPECT_EQ(results, expected) << "jobs=" << jobs;
+    }
+}
+
+TEST(Parallel, OrderPreservedWithMoreTasksThanThreads)
+{
+    // 3 workers, 120 tasks whose finish order is scrambled by giving
+    // early tasks more work; results must still land at their input
+    // index.
+    auto items = iota(120);
+    auto results = sim::parallelMap(
+        items,
+        [](const int &v) {
+            volatile long sink = 0;
+            for (long i = 0; i < (120 - v) * 1000L; ++i)
+                sink += i;
+            return v * 2;
+        },
+        3);
+    ASSERT_EQ(results.size(), items.size());
+    for (std::size_t i = 0; i < results.size(); ++i)
+        EXPECT_EQ(results[i], static_cast<int>(i) * 2);
+}
+
+TEST(Parallel, SingleWorkerRunsInline)
+{
+    // With one worker no threads are spawned: tasks run on the
+    // calling thread, in order.
+    sim::ThreadPool pool(1);
+    EXPECT_EQ(pool.size(), 0u);
+    std::vector<int> order;
+    pool.post([&] { order.push_back(1); });
+    pool.post([&] { order.push_back(2); });
+    pool.drain();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Parallel, PostAndDrainRunEverything)
+{
+    sim::ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.post([&] { ++count; });
+    pool.drain();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(Parallel, MapRethrowsTaskExceptions)
+{
+    auto items = iota(32);
+    EXPECT_THROW(sim::parallelMap(
+                     items,
+                     [](const int &v) {
+                         if (v == 17)
+                             throw std::runtime_error("boom");
+                         return v;
+                     },
+                     4),
+                 std::runtime_error);
+}
+
+TEST(Parallel, DefaultJobsHonorsEnvVar)
+{
+    ::setenv("NOCSTAR_JOBS", "7", 1);
+    EXPECT_EQ(sim::defaultJobs(), 7u);
+    ::setenv("NOCSTAR_JOBS", "not-a-number", 1);
+    EXPECT_GE(sim::defaultJobs(), 1u);
+    ::unsetenv("NOCSTAR_JOBS");
+    EXPECT_GE(sim::defaultJobs(), 1u);
+}
+
+TEST(Parallel, ConcurrentIdenticalSimulationsAreDeterministic)
+{
+    // Each cpu::System owns its event queue and RNG streams; running
+    // the same configuration on several threads at once must yield
+    // bit-identical statistics (this is what makes sweep output
+    // independent of the job count).
+    cpu::SystemConfig config;
+    config.org.kind = core::OrgKind::Nocstar;
+    config.org.numCores = 16;
+    cpu::AppConfig app;
+    app.spec = workload::paperWorkloads()[0];
+    app.threads = 16;
+    config.apps.push_back(std::move(app));
+    config.seed = 424242;
+
+    auto reference = cpu::System(config).run(800);
+
+    std::vector<int> lanes(6, 0);
+    auto results = sim::parallelMap(
+        lanes, [&](const int &) { return cpu::System(config).run(800); },
+        3);
+
+    for (const cpu::RunResult &r : results) {
+        EXPECT_EQ(r.cycles, reference.cycles);
+        EXPECT_EQ(r.meanCycles, reference.meanCycles);
+        EXPECT_EQ(r.instructions, reference.instructions);
+        EXPECT_EQ(r.ipc, reference.ipc);
+        EXPECT_EQ(r.l1Accesses, reference.l1Accesses);
+        EXPECT_EQ(r.l1Misses, reference.l1Misses);
+        EXPECT_EQ(r.l2Accesses, reference.l2Accesses);
+        EXPECT_EQ(r.l2Hits, reference.l2Hits);
+        EXPECT_EQ(r.l2Misses, reference.l2Misses);
+        EXPECT_EQ(r.walks, reference.walks);
+        EXPECT_EQ(r.avgL2AccessLatency, reference.avgL2AccessLatency);
+        EXPECT_EQ(r.avgWalkLatency, reference.avgWalkLatency);
+        EXPECT_EQ(r.energyPj, reference.energyPj);
+        EXPECT_EQ(r.fabricAvgLatency, reference.fabricAvgLatency);
+        EXPECT_EQ(r.fabricNoContention, reference.fabricNoContention);
+        EXPECT_EQ(r.appCycles, reference.appCycles);
+        EXPECT_EQ(r.appIpc, reference.appIpc);
+    }
+}
