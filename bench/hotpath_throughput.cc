@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Simulator-throughput benchmark: how many simulated memory accesses
+ * per wall-clock second the per-access hot path sustains.
+ *
+ * Runs a fig18-style multiprogrammed four-app mix serially (no worker
+ * pool, so the number measures the single-stream hot path: event
+ * queue, fabric delivery, organization continuations, page-table
+ * translation) once on the private baseline and once on NOCSTAR, then
+ * reports simulated accesses per second and writes the machine-
+ * readable BENCH_hotpath.json used to track the perf trajectory
+ * across PRs.
+ *
+ * Usage: bench_hotpath [accesses-per-thread] (default 20000)
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace nocstar;
+using namespace nocstar::bench;
+
+namespace
+{
+
+struct Measurement
+{
+    const char *org;
+    std::uint64_t accesses = 0;
+    Cycle simCycles = 0;
+    double wallSeconds = 0;
+
+    double
+    accessesPerSec() const
+    {
+        return wallSeconds > 0
+            ? static_cast<double>(accesses) / wallSeconds : 0.0;
+    }
+};
+
+Measurement
+measure(const char *label, core::OrgKind kind, std::uint64_t accesses)
+{
+    // Fig 18 methodology: four paper apps, cores/4 threads each.
+    cpu::SystemConfig config =
+        makeMixConfig({0, 3, 6, 9}, kind, 32);
+
+    // Untimed warmup run absorbs first-touch page-table allocation,
+    // cold branch predictors and allocator warmup.
+    runOnce(config, accesses / 4);
+
+    auto start = std::chrono::steady_clock::now();
+    cpu::RunResult result = runOnce(config, accesses);
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+
+    Measurement m;
+    m.org = label;
+    m.accesses = result.l1Accesses;
+    m.simCycles = result.cycles;
+    m.wallSeconds = wall;
+    return m;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t accesses = 20000;
+    if (argc > 1)
+        accesses = static_cast<std::uint64_t>(std::atoll(argv[1]));
+
+    std::printf("Simulator hot-path throughput "
+                "(fig18-style mix, 32 cores, serial)\n");
+    std::printf("%-10s %14s %14s %10s %16s\n", "org", "accesses",
+                "sim cycles", "wall s", "accesses/sec");
+
+    Measurement runs[] = {
+        measure("private", core::OrgKind::Private, accesses),
+        measure("nocstar", core::OrgKind::Nocstar, accesses),
+    };
+    double total_accesses = 0, total_wall = 0;
+    for (const Measurement &m : runs) {
+        std::printf("%-10s %14llu %14llu %10.3f %16.0f\n", m.org,
+                    static_cast<unsigned long long>(m.accesses),
+                    static_cast<unsigned long long>(m.simCycles),
+                    m.wallSeconds, m.accessesPerSec());
+        total_accesses += static_cast<double>(m.accesses);
+        total_wall += m.wallSeconds;
+    }
+    double aggregate = total_wall > 0 ? total_accesses / total_wall : 0;
+    std::printf("%-10s %14.0f %14s %10.3f %16.0f\n", "aggregate",
+                total_accesses, "-", total_wall, aggregate);
+
+    if (std::FILE *f = std::fopen("BENCH_hotpath.json", "w")) {
+        std::fprintf(f,
+                     "{\"bench\": \"hotpath\", "
+                     "\"accesses_per_thread\": %llu, "
+                     "\"private_accesses_per_sec\": %.1f, "
+                     "\"nocstar_accesses_per_sec\": %.1f, "
+                     "\"aggregate_accesses_per_sec\": %.1f, "
+                     "\"total_accesses\": %.0f, "
+                     "\"wall_seconds\": %.6f}\n",
+                     static_cast<unsigned long long>(accesses),
+                     runs[0].accessesPerSec(), runs[1].accessesPerSec(),
+                     aggregate, total_accesses, total_wall);
+        std::fclose(f);
+    } else {
+        std::fprintf(stderr, "cannot write BENCH_hotpath.json\n");
+    }
+    return 0;
+}

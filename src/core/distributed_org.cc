@@ -41,15 +41,15 @@ DistributedOrg::finishWithWalk(CoreId walk_core, CoreId requester,
     launchWalk(
         walk_core, requester, ctx, vaddr, start,
         [this, walk_core, requester, slice, ctx, vaddr, now,
-         done = std::move(done)](const mem::WalkResult &walk) {
+         done = std::move(done)](const mem::WalkResult &walk) mutable {
             Cycle walk_done = ctx_.queue->curCycle();
             tlb::TlbEntry entry = entryFor(ctx, vaddr, walk.translation);
 
             // The fill is installed in the home slice either way; if
             // the requester walked, the fill message is off the
             // critical path.
-            slices_.at(slice)->insert(entry);
-            prefetchAround(*slices_.at(slice), ctx, entry.vpn,
+            slices_[slice]->insert(entry);
+            prefetchAround(*slices_[slice], ctx, entry.vpn,
                            entry.size);
             if (ctx_.energy && walk_core != slice)
                 ctx_.energy->addL2Message(
@@ -88,7 +88,7 @@ DistributedOrg::translate(CoreId core, ContextId ctx, Addr vaddr,
                           Cycle now, TranslationDone done)
 {
     CoreId slice = sliceOf(vaddr);
-    tlb::SetAssocTlb &array = *slices_.at(slice);
+    tlb::SetAssocTlb &array = *slices_[slice];
     Cycle t0 = now + config_.initiateLatency;
 
     ++l2Accesses;
@@ -147,7 +147,7 @@ DistributedOrg::translate(CoreId core, ContextId ctx, Addr vaddr,
 void
 DistributedOrg::shootdown(CoreId, ContextId ctx, Addr vaddr,
                           const std::vector<CoreId> &sharers, Cycle now,
-                          std::function<void(Cycle)> on_complete)
+                          ShootdownDone on_complete)
 {
     ++shootdowns;
     mem::Translation t = ctx_.pageTable->translate(ctx, vaddr);
@@ -190,9 +190,8 @@ DistributedOrg::shootdown(CoreId, ContextId ctx, Addr vaddr,
     }
     totalShootdownLatency += static_cast<double>(last - now);
     if (on_complete)
-        ctx_.queue->scheduleLambda(last, [on_complete, last] {
-            on_complete(last);
-        });
+        ctx_.queue->scheduleLambda(
+            last, [cb = std::move(on_complete), last] { cb(last); });
 }
 
 void

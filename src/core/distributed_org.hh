@@ -32,7 +32,7 @@ class DistributedOrg : public TlbOrganization
 
     void shootdown(CoreId initiator, ContextId ctx, Addr vaddr,
                    const std::vector<CoreId> &sharers, Cycle now,
-                   std::function<void(Cycle)> on_complete) override;
+                   ShootdownDone on_complete) override;
 
     void flushAll() override;
 

@@ -18,6 +18,7 @@
 #include "core/fabric.hh"
 
 #include <algorithm>
+#include <bit>
 
 namespace nocstar::core
 {
@@ -39,6 +40,7 @@ NocstarFabric::NocstarFabric(const std::string &name, EventQueue &queue,
       queue_(queue), topo_(topo), config_(config),
       linkHeldUntil_(topo.linkIndexSpace(), 0),
       pending_(topo.numTiles()),
+      pendingBits_((topo.numTiles() + 63) / 64, 0),
       arbitrationEvent_([this] { arbitrate(); },
                         Event::arbitrationPriority)
 {
@@ -97,9 +99,10 @@ NocstarFabric::send(CoreId src, CoreId dst, Cycle now, DeliverFn deliver)
         return;
     }
     Cycle active = std::max(now, queue_.curCycle());
-    pending_.at(src).push_back(Request{src, dst, active, active, 0,
-                                       false, 0, nextSeq_++,
-                                       std::move(deliver)});
+    pending_[src].push_back(Request{src, dst, active, active, 0,
+                                    false, 0, nextSeq_++,
+                                    std::move(deliver)});
+    pendingBits_[src >> 6] |= std::uint64_t{1} << (src & 63);
     ++numPending_;
     scheduleArbitration(active);
 }
@@ -113,9 +116,10 @@ NocstarFabric::sendRoundTrip(CoreId src, CoreId dst, Cycle now,
         return;
     }
     Cycle active = std::max(now, queue_.curCycle());
-    pending_.at(src).push_back(Request{src, dst, active, active,
-                                       occupancy, true, 0, nextSeq_++,
-                                       std::move(deliver)});
+    pending_[src].push_back(Request{src, dst, active, active,
+                                    occupancy, true, 0, nextSeq_++,
+                                    std::move(deliver)});
+    pendingBits_[src >> 6] |= std::uint64_t{1} << (src & 63);
     ++numPending_;
     scheduleArbitration(active);
 }
@@ -168,17 +172,28 @@ NocstarFabric::arbitrate()
         (now / config_.priorityEpoch) % tiles);
 
     // One eligible request per source: the oldest whose turn has come.
+    // Only sources with queued work have their bit set, so the round
+    // touches just those queues.
     contenders_.clear();
-    for (CoreId src = 0; src < tiles; ++src) {
-        if (!pending_[src].empty() &&
-            pending_[src].front().activeAt <= now)
-            contenders_.push_back(src);
+    for (std::size_t w = 0; w < pendingBits_.size(); ++w) {
+        std::uint64_t bits = pendingBits_[w];
+        while (bits) {
+            auto src = static_cast<CoreId>(
+                (w << 6) +
+                static_cast<unsigned>(std::countr_zero(bits)));
+            bits &= bits - 1;
+            if (pending_[src].front().activeAt <= now)
+                contenders_.push_back(src);
+        }
     }
-    std::sort(contenders_.begin(), contenders_.end(),
-              [&](CoreId a, CoreId b) {
-                  return (a + tiles - rotation) % tiles <
-                         (b + tiles - rotation) % tiles;
-              });
+    // Rotated static priority: sources >= rotation first, each group
+    // ascending. contenders_ is gathered in ascending order, so a
+    // rotate produces exactly the order the per-source keyed sort
+    // (a + tiles - rotation) % tiles would.
+    std::rotate(contenders_.begin(),
+                std::lower_bound(contenders_.begin(), contenders_.end(),
+                                 static_cast<CoreId>(rotation)),
+                contenders_.end());
 
     for (CoreId src : contenders_) {
         Request &req = pending_[src].front();
@@ -214,13 +229,23 @@ NocstarFabric::arbitrate()
         if (!pending_[src].empty())
             pending_[src].front().activeAt = std::max(
                 pending_[src].front().activeAt, now + 1);
+        else
+            pendingBits_[src >> 6] &=
+                ~(std::uint64_t{1} << (src & 63));
     }
 
     if (numPending_ > 0) {
         Cycle next = invalidCycle;
-        for (CoreId src = 0; src < tiles; ++src) {
-            if (!pending_[src].empty())
-                next = std::min(next, pending_[src].front().activeAt);
+        for (std::size_t w = 0; w < pendingBits_.size(); ++w) {
+            std::uint64_t bits = pendingBits_[w];
+            while (bits) {
+                auto src = static_cast<CoreId>(
+                    (w << 6) +
+                    static_cast<unsigned>(std::countr_zero(bits)));
+                bits &= bits - 1;
+                next = std::min(next,
+                                pending_[src].front().activeAt);
+            }
         }
         scheduleArbitration(std::max(next, now + 1));
     }

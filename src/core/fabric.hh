@@ -25,7 +25,6 @@
 #define NOCSTAR_CORE_FABRIC_HH
 
 #include <deque>
-#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -53,8 +52,13 @@ struct FabricConfig
 class NocstarFabric : public stats::StatGroup
 {
   public:
-    /** Invoked when the message is latched at the destination tile. */
-    using DeliverFn = std::function<void(Cycle arrival)>;
+    /**
+     * Invoked when the message is latched at the destination tile.
+     * Inline capacity fits the largest organization continuation
+     * (NOCSTAR remote lookup carrying the entry and the requester's
+     * completion callback).
+     */
+    using DeliverFn = InlineFunction<void(Cycle arrival), 184>;
 
     NocstarFabric(const std::string &name, EventQueue &queue,
                   const noc::GridTopology &topo,
@@ -190,6 +194,12 @@ class NocstarFabric : public stats::StatGroup
     std::vector<CoreId> contenders_;
     /** Per-source FIFO of waiting requests (one setup port each). */
     std::vector<std::deque<Request>> pending_;
+    /**
+     * One bit per source tile, set while its FIFO is non-empty, so
+     * arbitration rounds visit only tiles with work instead of
+     * scanning every queue.
+     */
+    std::vector<std::uint64_t> pendingBits_;
     std::size_t numPending_ = 0;
     Cycle arbitrationScheduledFor_ = invalidCycle;
     std::uint64_t nextSeq_ = 0;

@@ -62,7 +62,7 @@ MonolithicOrg::translate(CoreId core, ContextId ctx, Addr vaddr,
                          Cycle now, TranslationDone done)
 {
     unsigned bank = bankOf(vaddr);
-    tlb::SetAssocTlb &array = *banks_.at(bank);
+    tlb::SetAssocTlb &array = *banks_[bank];
     Cycle t0 = now + config_.initiateLatency;
 
     ++l2Accesses;
@@ -116,7 +116,7 @@ MonolithicOrg::translate(CoreId core, ContextId ctx, Addr vaddr,
     launchWalk(core, core, ctx, vaddr, resp_arrival,
                [this, bank, core, ctx, vaddr, now,
                 done = std::move(done)](const mem::WalkResult &walk) {
-                   tlb::SetAssocTlb &arr = *banks_.at(bank);
+                   tlb::SetAssocTlb &arr = *banks_[bank];
                    tlb::TlbEntry entry =
                        entryFor(ctx, vaddr, walk.translation);
                    arr.insert(entry);
@@ -140,7 +140,7 @@ MonolithicOrg::translate(CoreId core, ContextId ctx, Addr vaddr,
 void
 MonolithicOrg::shootdown(CoreId, ContextId ctx, Addr vaddr,
                          const std::vector<CoreId> &sharers, Cycle now,
-                         std::function<void(Cycle)> on_complete)
+                         ShootdownDone on_complete)
 {
     ++shootdowns;
     mem::Translation t = ctx_.pageTable->translate(ctx, vaddr);
@@ -164,9 +164,8 @@ MonolithicOrg::shootdown(CoreId, ContextId ctx, Addr vaddr,
     }
     totalShootdownLatency += static_cast<double>(last - now);
     if (on_complete)
-        ctx_.queue->scheduleLambda(last, [on_complete, last] {
-            on_complete(last);
-        });
+        ctx_.queue->scheduleLambda(
+            last, [cb = std::move(on_complete), last] { cb(last); });
 }
 
 void

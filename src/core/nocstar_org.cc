@@ -36,7 +36,7 @@ NocstarOrg::respondHit(CoreId core, CoreId slice, tlb::TlbEntry entry,
                        Cycle lookup_done, Cycle now, TranslationDone done)
 {
     auto complete = [this, core, slice, entry, now,
-                     done = std::move(done)](Cycle arrival) {
+                     done = std::move(done)](Cycle arrival) mutable {
         TranslationResult result;
         result.completedAt = arrival;
         result.entry = entry;
@@ -70,18 +70,18 @@ NocstarOrg::finishWithWalk(CoreId walk_core, CoreId requester,
     launchWalk(
         walk_core, requester, ctx, vaddr, start,
         [this, walk_core, requester, slice, ctx, vaddr, now,
-         done = std::move(done)](const mem::WalkResult &walk) {
+         done = std::move(done)](const mem::WalkResult &walk) mutable {
             Cycle walk_done = ctx_.queue->curCycle();
             tlb::TlbEntry entry = entryFor(ctx, vaddr, walk.translation);
 
             auto fill_slice = [this, slice, ctx, entry](Cycle) {
-                slices_.at(slice)->insert(entry);
-                prefetchAround(*slices_.at(slice), ctx, entry.vpn,
+                slices_[slice]->insert(entry);
+                prefetchAround(*slices_[slice], ctx, entry.vpn,
                                entry.size);
             };
 
             auto complete = [this, slice, entry, now,
-                             done = std::move(done)](Cycle at) {
+                             done = std::move(done)](Cycle at) mutable {
                 TranslationResult result;
                 result.completedAt = at;
                 result.entry = entry;
@@ -138,7 +138,7 @@ NocstarOrg::handleMiss(CoreId core, CoreId slice, ContextId ctx,
                                   topo_.hops(slice, core), 0);
     fabric_->send(slice, core, lookup_done,
                   [this, core, slice, ctx, vaddr, now,
-                   done = std::move(done)](Cycle arrival) {
+                   done = std::move(done)](Cycle arrival) mutable {
                       finishWithWalk(core, core, slice, ctx, vaddr,
                                      arrival, now, std::move(done));
                   });
@@ -149,7 +149,7 @@ NocstarOrg::translate(CoreId core, ContextId ctx, Addr vaddr, Cycle now,
                       TranslationDone done)
 {
     CoreId slice = sliceOf(vaddr);
-    tlb::SetAssocTlb &array = *slices_.at(slice);
+    tlb::SetAssocTlb &array = *slices_[slice];
     Cycle t0 = now + config_.initiateLatency;
 
     ++l2Accesses;
@@ -188,7 +188,7 @@ NocstarOrg::translate(CoreId core, ContextId ctx, Addr vaddr, Cycle now,
         fabric_->sendRoundTrip(
             core, slice, t0, occupancy,
             [this, core, slice, ctx, vaddr, hit, entry, now,
-             done = std::move(done)](Cycle arrival) {
+             done = std::move(done)](Cycle arrival) mutable {
                 Cycle start = portStart(slice, arrival + 1);
                 Cycle lookup_done = start + sliceLatency_;
                 if (hit) {
@@ -219,7 +219,7 @@ NocstarOrg::translate(CoreId core, ContextId ctx, Addr vaddr, Cycle now,
 
     fabric_->send(core, slice, t0,
                   [this, core, slice, ctx, vaddr, hit, entry, now,
-                   done = std::move(done)](Cycle arrival) {
+                   done = std::move(done)](Cycle arrival) mutable {
                       Cycle start = portStart(slice, arrival + 1);
                       Cycle lookup_done = start + sliceLatency_;
                       if (hit)
@@ -234,7 +234,7 @@ NocstarOrg::translate(CoreId core, ContextId ctx, Addr vaddr, Cycle now,
 void
 NocstarOrg::shootdown(CoreId, ContextId ctx, Addr vaddr,
                       const std::vector<CoreId> &sharers, Cycle now,
-                      std::function<void(Cycle)> on_complete)
+                      ShootdownDone on_complete)
 {
     ++shootdowns;
     mem::Translation t = ctx_.pageTable->translate(ctx, vaddr);
@@ -255,7 +255,7 @@ NocstarOrg::shootdown(CoreId, ContextId ctx, Addr vaddr,
         unsigned outstanding = 0;
         Cycle last = 0;
         Cycle started = 0;
-        std::function<void(Cycle)> onComplete;
+        ShootdownDone onComplete;
         TlbOrganization *org;
     };
     auto state = std::make_shared<ShootState>();

@@ -85,7 +85,7 @@ TlbOrganization::noteAccessStart(unsigned slice)
     // Sample including this access, so "1" means an isolated access,
     // matching the paper's "1 acc" category.
     ++outstanding_;
-    ++sliceOutstanding_.at(slice);
+    ++sliceOutstanding_[slice];
     concurrency.sample(static_cast<double>(outstanding_));
     sliceConcurrency.sample(
         static_cast<double>(sliceOutstanding_[slice]));
@@ -94,7 +94,7 @@ TlbOrganization::noteAccessStart(unsigned slice)
 void
 TlbOrganization::noteAccessEnd(unsigned slice)
 {
-    if (outstanding_ == 0 || sliceOutstanding_.at(slice) == 0)
+    if (outstanding_ == 0 || sliceOutstanding_[slice] == 0)
         panic("unbalanced access tracking");
     --outstanding_;
     --sliceOutstanding_[slice];
@@ -103,7 +103,7 @@ TlbOrganization::noteAccessEnd(unsigned slice)
 Cycle
 TlbOrganization::portStart(unsigned slice, Cycle earliest)
 {
-    PortState &port = ports_.at(slice);
+    PortState &port = ports_[slice];
     if (port.cycle < earliest) {
         port.cycle = earliest;
         port.used = 1;
@@ -122,7 +122,7 @@ TlbOrganization::portStart(unsigned slice, Cycle earliest)
 void
 TlbOrganization::launchWalk(CoreId walk_core, CoreId requester,
                             ContextId ctx, Addr vaddr, Cycle now,
-                            std::function<void(const mem::WalkResult &)> k)
+                            WalkDone k)
 {
     ++walksLaunched;
     mem::WalkResult walk =

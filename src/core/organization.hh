@@ -10,7 +10,6 @@
 #ifndef NOCSTAR_CORE_ORGANIZATION_HH
 #define NOCSTAR_CORE_ORGANIZATION_HH
 
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -37,8 +36,19 @@ struct TranslationResult
     bool walked = false;
 };
 
-/** Callback when a translation completes. */
-using TranslationDone = std::function<void(const TranslationResult &)>;
+/** Callback when a translation completes (inline, no heap). */
+using TranslationDone =
+    InlineFunction<void(const TranslationResult &), 48>;
+
+/** Callback when a shootdown's L2 invalidation has completed. */
+using ShootdownDone = InlineFunction<void(Cycle), 48>;
+
+/**
+ * Continuation of a page-table walk. Sized for the organization
+ * continuations that own the requester's TranslationDone plus the
+ * request coordinates.
+ */
+using WalkDone = InlineFunction<void(const mem::WalkResult &), 136>;
 
 /**
  * Environment handed to an organization by the System.
@@ -51,10 +61,10 @@ struct OrgContext
     std::vector<mem::PageTableWalker *> walkers;
     energy::TranslationEnergyModel *energy = nullptr;
     /** Invalidate one translation in a core's L1 TLB group. */
-    std::function<void(CoreId, ContextId, PageNum, PageSize)>
+    InlineFunction<void(CoreId, ContextId, PageNum, PageSize), 32>
         l1Invalidate;
     /** Flush a core's entire L1 TLB group. */
-    std::function<void(CoreId)> l1Flush;
+    InlineFunction<void(CoreId), 32> l1Flush;
 };
 
 /**
@@ -83,7 +93,7 @@ class TlbOrganization : public stats::StatGroup
      */
     virtual void shootdown(CoreId initiator, ContextId ctx, Addr vaddr,
                            const std::vector<CoreId> &sharers, Cycle now,
-                           std::function<void(Cycle)> on_complete) = 0;
+                           ShootdownDone on_complete) = 0;
 
     /** Flush all L2 structures (context switch without PCID). */
     virtual void flushAll() = 0;
@@ -162,8 +172,7 @@ class TlbOrganization : public stats::StatGroup
      * @p walk_core's walker and hand the result to @p k.
      */
     void launchWalk(CoreId walk_core, CoreId requester, ContextId ctx,
-                    Addr vaddr, Cycle now,
-                    std::function<void(const mem::WalkResult &)> k);
+                    Addr vaddr, Cycle now, WalkDone k);
 
     /** Record walk references with the energy model. */
     void chargeWalkEnergy(const mem::WalkResult &walk);

@@ -27,7 +27,7 @@ void
 PrivateOrg::translate(CoreId core, ContextId ctx, Addr vaddr, Cycle now,
                       TranslationDone done)
 {
-    tlb::SetAssocTlb &array = *arrays_.at(core);
+    tlb::SetAssocTlb &array = *arrays_[core];
     Cycle t0 = now + config_.initiateLatency;
     Cycle start = portStart(core, t0);
 
@@ -58,7 +58,7 @@ PrivateOrg::translate(CoreId core, ContextId ctx, Addr vaddr, Cycle now,
     launchWalk(core, core, ctx, vaddr, lookup_done,
                [this, core, ctx, vaddr, now,
                 done = std::move(done)](const mem::WalkResult &walk) {
-                   tlb::SetAssocTlb &arr = *arrays_.at(core);
+                   tlb::SetAssocTlb &arr = *arrays_[core];
                    tlb::TlbEntry entry =
                        entryFor(ctx, vaddr, walk.translation);
                    arr.insert(entry);
@@ -78,7 +78,7 @@ PrivateOrg::translate(CoreId core, ContextId ctx, Addr vaddr, Cycle now,
 void
 PrivateOrg::shootdown(CoreId, ContextId ctx, Addr vaddr,
                       const std::vector<CoreId> &sharers, Cycle now,
-                      std::function<void(Cycle)> on_complete)
+                      ShootdownDone on_complete)
 {
     ++shootdowns;
     mem::Translation t = ctx_.pageTable->translate(ctx, vaddr);
@@ -98,9 +98,8 @@ PrivateOrg::shootdown(CoreId, ContextId ctx, Addr vaddr,
     Cycle done = now + shootdownLatency;
     totalShootdownLatency += static_cast<double>(done - now);
     if (on_complete)
-        ctx_.queue->scheduleLambda(done, [on_complete, done] {
-            on_complete(done);
-        });
+        ctx_.queue->scheduleLambda(
+            done, [cb = std::move(on_complete), done] { cb(done); });
 }
 
 void

@@ -72,6 +72,7 @@ System::System(const SystemConfig &config)
     // Thread placement: spread threads across cores first, then fill
     // SMT slots, exactly one app context per thread.
     threadsOfCore_.resize(cores);
+    ctxSharers_.resize(config.apps.size());
     traces_.resize(config.apps.size());
     unsigned slot = 0;
     unsigned max_slots = cores * std::max(1u, config.smtPerCore);
@@ -86,6 +87,7 @@ System::System(const SystemConfig &config)
                       max_slots, ")");
             HwThread thread;
             thread.app = static_cast<unsigned>(a);
+            thread.indexInApp = t;
             thread.ctx = static_cast<ContextId>(a);
             thread.core = static_cast<CoreId>(slot % cores);
             if (traces_[a])
@@ -102,6 +104,17 @@ System::System(const SystemConfig &config)
             threads_.push_back(std::move(thread));
             ++slot;
         }
+    }
+    for (std::size_t i = 0; i < threads_.size(); ++i) {
+        StepEvent &ev = stepEvents_.emplace_back();
+        ev.sys = this;
+        ev.threadIndex = i;
+        // Sharer lists for shootdowns, in thread-creation order as
+        // stormOp built them before.
+        auto &sharers = ctxSharers_[threads_[i].ctx];
+        if (std::find(sharers.begin(), sharers.end(),
+                      threads_[i].core) == sharers.end())
+            sharers.push_back(threads_[i].core);
     }
     if (!config.captureTracePath.empty())
         capture_ = std::make_unique<workload::TraceFile>();
@@ -148,9 +161,9 @@ System::burstCycles(HwThread &thread)
 void
 System::scheduleStep(std::size_t thread_index, Cycle when)
 {
-    queue_.scheduleLambda(when, [this, thread_index] {
-        step(thread_index);
-    });
+    // Each thread has at most one step in flight, so its intrusive
+    // event is always free for reuse here.
+    queue_.schedule(&stepEvents_[thread_index], when);
 }
 
 void
@@ -176,7 +189,7 @@ System::step(std::size_t thread_index)
     ++l1Accesses_;
     energy_.addL1Lookup();
     const tlb::TlbEntry *l1_hit =
-        l1s_.at(thread.core)->lookup(thread.ctx, vpn, t.size);
+        l1s_[thread.core]->lookup(thread.ctx, vpn, t.size);
 
     if (l1_hit) {
         // Translation overlapped with the L1 cache access: no stall.
@@ -189,7 +202,7 @@ System::step(std::size_t thread_index)
         thread.core, thread.ctx, vaddr, now,
         [this, thread_index](const core::TranslationResult &result) {
             HwThread &th = threads_[thread_index];
-            l1s_.at(th.core)->insert(result.entry);
+            l1s_[th.core]->insert(result.entry);
             Cycle resume = std::max(result.completedAt,
                                     queue_.curCycle());
             scheduleStep(thread_index, resume + burstCycles(th));
@@ -235,14 +248,9 @@ System::stormOp()
         pageTable_->setRegionSuperpage(ctx, base, stormPromote_);
     stormPromote_ = !stormPromote_;
 
-    // Sharers: every core running a thread of the storm context.
-    std::vector<CoreId> sharers;
-    for (const HwThread &thread : threads_) {
-        if (thread.ctx == ctx &&
-            std::find(sharers.begin(), sharers.end(), thread.core) ==
-                sharers.end())
-            sharers.push_back(thread.core);
-    }
+    // Sharers: every core running a thread of the storm context,
+    // precomputed at thread placement.
+    const std::vector<CoreId> &sharers = ctxSharers_[ctx];
 
     // A promote invalidates 512 distinct entries; we time a sample of
     // the messages and pause sharers for the IPI handler.
@@ -363,10 +371,7 @@ System::prewarm()
     // (the hierarchy is mostly-inclusive).
     for (const HwThread &thread : threads_) {
         const auto &spec = config_.apps[thread.app].spec;
-        unsigned t_index = 0;
-        // Recover the generator's thread index from its private base.
-        // (Threads of an app are numbered in creation order.)
-        t_index = threadIndexWithinApp(thread);
+        unsigned t_index = thread.indexInApp;
         for (std::uint64_t p = spec.hotPages; p-- > 0;) {
             Addr vaddr =
                 workload::AccessGenerator::privateBase(thread.ctx,
@@ -387,19 +392,6 @@ System::prewarm()
             l1s_.at(thread.core)->insert(entry);
         }
     }
-}
-
-unsigned
-System::threadIndexWithinApp(const HwThread &thread) const
-{
-    unsigned index = 0;
-    for (const HwThread &other : threads_) {
-        if (&other == &thread)
-            return index;
-        if (other.app == thread.app)
-            ++index;
-    }
-    return index;
 }
 
 RunResult

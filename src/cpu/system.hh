@@ -16,6 +16,7 @@
 #ifndef NOCSTAR_CPU_SYSTEM_HH
 #define NOCSTAR_CPU_SYSTEM_HH
 
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -172,6 +173,8 @@ class System : public stats::StatGroup
     struct HwThread
     {
         unsigned app;
+        /** Creation-order index among this app's threads. */
+        unsigned indexInApp;
         ContextId ctx;
         CoreId core;
         std::unique_ptr<workload::AddressSource> gen;
@@ -186,11 +189,22 @@ class System : public stats::StatGroup
         bool finished = false;
     };
 
+    /**
+     * Intrusive per-thread step event (gem5 idiom): one reusable
+     * instance per hardware thread, rescheduled for every access, so
+     * the per-access issue/resume path never touches the lambda-event
+     * pool.
+     */
+    struct StepEvent : Event
+    {
+        System *sys = nullptr;
+        std::size_t threadIndex = 0;
+
+        void process() override { sys->step(threadIndex); }
+    };
+
     /** Preload steady-state resident translations (see system.cc). */
     void prewarm();
-
-    /** Creation-order index of @p thread among its app's threads. */
-    unsigned threadIndexWithinApp(const HwThread &thread) const;
 
     /** Issue one access for @p thread at the current cycle. */
     void step(std::size_t thread_index);
@@ -216,7 +230,11 @@ class System : public stats::StatGroup
     energy::TranslationEnergyModel energy_;
     std::unique_ptr<core::TlbOrganization> org_;
     std::vector<HwThread> threads_;
+    /** Events are pinned (non-movable), hence the deque. */
+    std::deque<StepEvent> stepEvents_;
     std::vector<std::vector<std::size_t>> threadsOfCore_;
+    /** Cores running each context's threads (storm sharer lists). */
+    std::vector<std::vector<CoreId>> ctxSharers_;
     /** Loaded replay traces (one per app; own the record storage). */
     std::vector<std::unique_ptr<workload::TraceFile>> traces_;
     /** Capture sink when captureTracePath is set. */

@@ -13,24 +13,24 @@ namespace nocstar::mem
 bool
 CacheModel::LineStore::probe(Addr line, Cycle now)
 {
-    auto it = lines.find(line);
-    if (it == lines.end())
+    Cycle *touched = lines.find(line);
+    if (!touched)
         return false;
-    if (ttl && now > it->second + ttl) {
+    if (ttl && now > *touched + ttl) {
         // Aged out by application traffic; treat as a miss. The stale
         // map entry is refreshed by the subsequent fill.
         return false;
     }
-    it->second = now;
+    *touched = now;
     return true;
 }
 
 bool
 CacheModel::LineStore::fill(Addr line, Cycle now)
 {
-    auto [it, inserted] = lines.emplace(line, now);
+    auto [touched, inserted] = lines.emplace(line, now);
     if (!inserted) {
-        it->second = now;
+        *touched = now;
         return false;
     }
     fifo.push_back(line);

@@ -22,10 +22,11 @@
 #include <cstdint>
 #include <deque>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "energy/translation_energy.hh"
+#include "sim/flat_map.hh"
+#include "sim/inline_function.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -82,8 +83,10 @@ class CacheModel : public stats::StatGroup
      * Hook invoked whenever a foreign fill lands in a core's L2, so the
      * system can charge that core a pollution penalty (Fig 17).
      */
+    using ForeignFillHook = InlineFunction<void(CoreId), 32>;
+
     void
-    setForeignFillHook(std::function<void(CoreId)> hook)
+    setForeignFillHook(ForeignFillHook hook)
     {
         foreignFillHook_ = std::move(hook);
     }
@@ -111,7 +114,7 @@ class CacheModel : public stats::StatGroup
     {
         std::uint32_t maxLines = 0;
         Cycle ttl = 0;
-        std::unordered_map<Addr, Cycle> lines; ///< line -> last touch
+        FlatMap<Addr, Cycle> lines; ///< line -> last touch
         std::deque<Addr> fifo;
 
         bool probe(Addr line, Cycle now);
@@ -123,7 +126,7 @@ class CacheModel : public stats::StatGroup
     std::vector<LineStore> l2_; ///< one per core
     LineStore llc_;
     std::vector<std::uint64_t> foreignFills_;
-    std::function<void(CoreId)> foreignFillHook_;
+    ForeignFillHook foreignFillHook_;
 };
 
 } // namespace nocstar::mem

@@ -37,55 +37,66 @@ bool
 PageTable::regionWantsSuperpage(ContextId ctx, RegionKey key) const
 {
     double fraction = superpageFraction_;
-    auto it = contextFraction_.find(ctx);
-    if (it != contextFraction_.end())
-        fraction = it->second;
+    if (const double *ctx_fraction = contextFraction_.find(ctx))
+        fraction = *ctx_fraction;
     if (fraction <= 0.0)
         return false;
     double u = static_cast<double>(mix(key ^ seed_) >> 11) * 0x1.0p-53;
     return u < fraction;
 }
 
-const PageTable::Region &
-PageTable::regionFor(ContextId ctx, Addr vaddr)
+std::uint32_t
+PageTable::regionIndexFor(ContextId ctx, Addr vaddr)
 {
     RegionKey key = regionKey(ctx, vaddr);
-    auto it = regions_.find(key);
-    if (it == regions_.end()) {
-        Region region{regionWantsSuperpage(ctx, key), nextFrame_++, 0};
-        it = regions_.emplace(key, region).first;
-    }
-    return it->second;
+    auto [index, inserted] = regionIndex_.emplace(
+        key, static_cast<std::uint32_t>(regionPool_.size()));
+    if (inserted)
+        regionPool_.push_back(
+            Region{regionWantsSuperpage(ctx, key), nextFrame_++, 0});
+    return *index;
 }
 
 Translation
 PageTable::translate(ContextId ctx, Addr vaddr)
 {
-    const Region &region = regionFor(ctx, vaddr);
+    RegionKey key = regionKey(ctx, vaddr);
+    RegionMemo &m = memoSlot(key);
+    const Region *region = nullptr;
+    if (m.key == key && m.index < regionPool_.size()) {
+        const Region &r = regionPool_[m.index];
+        if (r.version == m.version)
+            region = &r;
+    }
+    if (!region) {
+        std::uint32_t index = regionIndexFor(ctx, vaddr);
+        m = RegionMemo{key, index, regionPool_[index].version};
+        region = &regionPool_[index];
+    }
+
     Translation result;
-    result.version = region.version;
-    if (region.superpage) {
+    result.version = region->version;
+    if (region->superpage) {
         result.size = PageSize::TwoMB;
-        result.ppn = region.frame;
+        result.ppn = region->frame;
     } else {
         result.size = PageSize::FourKB;
         // 512 4 KB pages per 2 MB frame.
         Addr offset_in_region =
             (vaddr >> pageShift(PageSize::FourKB)) & 0x1ff;
-        result.ppn = (region.frame << 9) | offset_in_region;
+        result.ppn = (region->frame << 9) | offset_in_region;
     }
     return result;
 }
 
-std::vector<Addr>
+WalkLines
 PageTable::walkAddresses(ContextId ctx, Addr vaddr) const
 {
     // Synthesize stable, well-distributed page-table-entry line
     // addresses from the VA's per-level indices. Adjacent virtual pages
     // share upper-level entries and usually the same PTE cache line,
     // exactly like a radix table.
-    std::vector<Addr> lines;
-    lines.reserve(4);
+    WalkLines lines;
 
     auto entry_line = [&](WalkLevel level, Addr table_id, Addr index) {
         // 8-byte entries, 64-byte lines -> 8 entries per line.
@@ -106,10 +117,10 @@ PageTable::walkAddresses(ContextId ctx, Addr vaddr) const
                                pd_idx));
 
     // A 2 MB mapping terminates at the PDE.
-    auto it = regions_.find(regionKey(ctx, vaddr));
-    bool superpage = it != regions_.end()
-        ? it->second.superpage
-        : regionWantsSuperpage(ctx, regionKey(ctx, vaddr));
+    RegionKey key = regionKey(ctx, vaddr);
+    const std::uint32_t *index = regionIndex_.find(key);
+    bool superpage = index ? regionPool_[*index].superpage
+                           : regionWantsSuperpage(ctx, key);
     if (!superpage) {
         lines.push_back(entry_line(
             WalkLevel::Pt,
@@ -121,9 +132,7 @@ PageTable::walkAddresses(ContextId ctx, Addr vaddr) const
 Translation
 PageTable::remap(ContextId ctx, Addr vaddr)
 {
-    RegionKey key = regionKey(ctx, vaddr);
-    regionFor(ctx, vaddr); // ensure allocated
-    Region &region = regions_.find(key)->second;
+    Region &region = regionPool_[regionIndexFor(ctx, vaddr)];
     region.frame = nextFrame_++;
     ++region.version;
     return translate(ctx, vaddr);
@@ -132,9 +141,7 @@ PageTable::remap(ContextId ctx, Addr vaddr)
 unsigned
 PageTable::setRegionSuperpage(ContextId ctx, Addr vaddr, bool promote)
 {
-    RegionKey key = regionKey(ctx, vaddr);
-    regionFor(ctx, vaddr); // ensure allocated
-    Region &region = regions_.find(key)->second;
+    Region &region = regionPool_[regionIndexFor(ctx, vaddr)];
     if (region.superpage == promote)
         return 0;
     region.superpage = promote;
@@ -147,10 +154,10 @@ PageTable::setRegionSuperpage(ContextId ctx, Addr vaddr, bool promote)
 bool
 PageTable::isSuperpage(ContextId ctx, Addr vaddr) const
 {
-    auto it = regions_.find(regionKey(ctx, vaddr));
-    if (it != regions_.end())
-        return it->second.superpage;
-    return regionWantsSuperpage(ctx, regionKey(ctx, vaddr));
+    RegionKey key = regionKey(ctx, vaddr);
+    if (const std::uint32_t *index = regionIndex_.find(key))
+        return regionPool_[*index].superpage;
+    return regionWantsSuperpage(ctx, key);
 }
 
 } // namespace nocstar::mem

@@ -19,9 +19,9 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "sim/flat_map.hh"
 #include "sim/types.hh"
 
 namespace nocstar::mem
@@ -46,6 +46,22 @@ enum class WalkLevel : std::uint8_t
 };
 
 /**
+ * Walk reference line addresses: at most 4 (PML4E..PTE), no heap.
+ * Mirrors the std::vector surface the walker and tests use.
+ */
+struct WalkLines
+{
+    std::array<Addr, 4> line{};
+    std::uint32_t count = 0;
+
+    std::size_t size() const { return count; }
+    Addr operator[](std::size_t i) const { return line[i]; }
+    const Addr *begin() const { return line.data(); }
+    const Addr *end() const { return line.data() + count; }
+    void push_back(Addr a) { line[count++] = a; }
+};
+
+/**
  * Per-process (context) page tables behind one interface.
  */
 class PageTable
@@ -66,7 +82,7 @@ class PageTable
      * Walk reference line addresses for @p vaddr: 4 lines for a 4 KB
      * mapping (PML4E..PTE), 3 for a 2 MB mapping (stops at the PDE).
      */
-    std::vector<Addr> walkAddresses(ContextId ctx, Addr vaddr) const;
+    WalkLines walkAddresses(ContextId ctx, Addr vaddr) const;
 
     /**
      * Remap the page containing @p vaddr to fresh physical backing,
@@ -101,7 +117,7 @@ class PageTable
     double superpageFraction() const { return superpageFraction_; }
 
     /** Number of distinct 2 MB regions allocated so far. */
-    std::uint64_t regionsAllocated() const { return regions_.size(); }
+    std::uint64_t regionsAllocated() const { return regionPool_.size(); }
 
   private:
     struct Region
@@ -114,6 +130,29 @@ class PageTable
 
     using RegionKey = std::uint64_t;
 
+    /**
+     * Direct-mapped region memo. regionIndex_ slots move on rehash but
+     * pool indices are stable forever, so the memo caches the pool
+     * index; the stored version detects remap/promotion in between. A
+     * Zipf stream touches a few hundred hot regions, so a small table
+     * keyed by the hashed region key captures nearly all translates
+     * without the full map probe.
+     */
+    struct RegionMemo
+    {
+        RegionKey key = 0;
+        std::uint32_t index = ~std::uint32_t{0};
+        std::uint32_t version = 0;
+    };
+
+    static constexpr std::size_t memoSize = 4096;
+
+    RegionMemo &
+    memoSlot(RegionKey key)
+    {
+        return memo_[flatMapMix(key) & (memoSize - 1)];
+    }
+
     static RegionKey
     regionKey(ContextId ctx, Addr vaddr)
     {
@@ -121,14 +160,24 @@ class PageTable
                (vaddr >> pageShift(PageSize::TwoMB));
     }
 
-    const Region &regionFor(ContextId ctx, Addr vaddr);
+    /** Pool index of the region containing @p vaddr (allocating). */
+    std::uint32_t regionIndexFor(ContextId ctx, Addr vaddr);
+
+    const Region &
+    regionFor(ContextId ctx, Addr vaddr)
+    {
+        return regionPool_[regionIndexFor(ctx, vaddr)];
+    }
+
     bool regionWantsSuperpage(ContextId ctx, RegionKey key) const;
 
     double superpageFraction_;
     std::uint64_t seed_;
     PageNum nextFrame_ = 1; ///< bump allocator of 2 MB frames
-    std::unordered_map<RegionKey, Region> regions_;
-    std::unordered_map<ContextId, double> contextFraction_;
+    FlatMap<RegionKey, std::uint32_t> regionIndex_;
+    std::vector<Region> regionPool_;
+    std::vector<RegionMemo> memo_{memoSize}; ///< hashed by region key
+    FlatMap<ContextId, double> contextFraction_;
 };
 
 } // namespace nocstar::mem

@@ -11,14 +11,14 @@ namespace nocstar::mem
 bool
 PageTableWalker::Psc::probe(std::uint64_t key)
 {
-    return entries.find(key) != entries.end();
+    return entries.contains(key);
 }
 
 void
 PageTableWalker::Psc::fill(std::uint64_t key, Cycle now)
 {
-    auto [it, inserted] = entries.emplace(key, now);
-    it->second = now;
+    auto [touched, inserted] = entries.emplace(key, now);
+    *touched = now;
     if (!inserted)
         return;
     fifo.push_back(key);
@@ -59,7 +59,7 @@ PageTableWalker::walk(ContextId ctx, Addr vaddr, CoreId requester_core,
         result.llcRefs = 1;
     } else {
         Cycle latency = 0;
-        std::vector<Addr> lines = table_.walkAddresses(ctx, vaddr);
+        WalkLines lines = table_.walkAddresses(ctx, vaddr);
 
         // Upper levels (all but the leaf) may hit the PSCs.
         std::size_t leaf = lines.size() - 1;

@@ -20,10 +20,10 @@
 #include <cstdint>
 #include <deque>
 #include <string>
-#include <unordered_map>
 
 #include "mem/cache_model.hh"
 #include "mem/page_table.hh"
+#include "sim/flat_map.hh"
 #include "sim/stats.hh"
 
 namespace nocstar::mem
@@ -90,7 +90,7 @@ class PageTableWalker : public stats::StatGroup
     struct Psc
     {
         std::uint32_t maxEntries = 0;
-        std::unordered_map<std::uint64_t, Cycle> entries;
+        FlatMap<std::uint64_t, Cycle> entries;
         std::deque<std::uint64_t> fifo;
 
         bool probe(std::uint64_t key);

@@ -5,6 +5,8 @@
 
 #include "sim/event_queue.hh"
 
+#include <bit>
+
 namespace nocstar
 {
 
@@ -36,9 +38,22 @@ EventQueue::schedule(Event *ev, Cycle when)
     ev->_scheduled = true;
     ev->_when = when;
     ++ev->_generation;
-    _queue.push(Record{when, ev->priority(), _nextSeq++, ev->_generation,
-                       ev});
+    if (when - _curCycle < wheelSize)
+        pushToWheel(when, WheelRecord{ev->priority(), _nextSeq++,
+                                      ev->_generation, ev});
+    else
+        overflow_.push(Record{when, ev->priority(), _nextSeq++,
+                              ev->_generation, ev});
     ++_numScheduled;
+}
+
+void
+EventQueue::pushToWheel(Cycle when, const WheelRecord &rec)
+{
+    std::size_t bucket = when & wheelMask;
+    wheel_[bucket].push_back(rec);
+    occupied_[bucket >> 6] |= std::uint64_t{1} << (bucket & 63);
+    ++wheelCount_;
 }
 
 void
@@ -61,36 +76,91 @@ EventQueue::reschedule(Event *ev, Cycle when)
     schedule(ev, when);
 }
 
-bool
-EventQueue::serviceOne()
+Cycle
+EventQueue::nextEventCycle()
 {
-    Record rec = _queue.top();
-    _queue.pop();
+    Cycle next = invalidCycle;
+    if (wheelCount_ > 0) {
+        // Wheel entries always sit within [curCycle, curCycle +
+        // wheelSize), so the first occupied bucket at or after the
+        // current one (circularly) identifies the earliest cycle.
+        std::size_t start = _curCycle & wheelMask;
+        for (std::size_t w = 0; w <= wheelWords; ++w) {
+            std::size_t word = ((start >> 6) + w) & (wheelWords - 1);
+            std::uint64_t bits = occupied_[word];
+            if (w == 0)
+                bits &= ~std::uint64_t{0} << (start & 63);
+            if (!bits)
+                continue;
+            std::size_t bucket =
+                (word << 6) +
+                static_cast<std::size_t>(std::countr_zero(bits));
+            next = _curCycle + ((bucket - start) & wheelMask);
+            break;
+        }
+    }
+    if (!overflow_.empty() && overflow_.top().when < next)
+        next = overflow_.top().when;
+    // Fold overflow records that are now within the horizon of the
+    // cycle we are about to advance to.
+    while (!overflow_.empty() && overflow_.top().when - next < wheelSize) {
+        const Record &rec = overflow_.top();
+        pushToWheel(rec.when, WheelRecord{rec.priority, rec.seq,
+                                          rec.generation, rec.event});
+        overflow_.pop();
+    }
+    return next;
+}
 
-    Event *ev = rec.event;
-    if (!ev->_scheduled || ev->_generation != rec.generation)
-        return false; // stale record from a deschedule/reschedule
+std::uint64_t
+EventQueue::processCycle(Cycle cycle)
+{
+    std::vector<WheelRecord> &bucket = wheel_[cycle & wheelMask];
+    std::uint64_t processed = 0;
+    while (!bucket.empty()) {
+        // Smallest (priority, seq) first; buckets are small, so a
+        // linear scan beats maintaining a heap. Same-cycle records
+        // appended by process() are picked up by later passes.
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < bucket.size(); ++i) {
+            if (bucket[i].priority < bucket[best].priority ||
+                (bucket[i].priority == bucket[best].priority &&
+                 bucket[i].seq < bucket[best].seq))
+                best = i;
+        }
+        WheelRecord rec = bucket[best];
+        bucket[best] = bucket.back();
+        bucket.pop_back();
+        --wheelCount_;
 
-    _curCycle = rec.when;
-    ev->_scheduled = false;
-    ev->_when = invalidCycle;
-    --_numScheduled;
-    ev->process();
-    return true;
+        Event *ev = rec.event;
+        if (!ev->_scheduled || ev->_generation != rec.generation)
+            continue; // stale record from a deschedule/reschedule
+
+        _curCycle = cycle;
+        ev->_scheduled = false;
+        ev->_when = invalidCycle;
+        --_numScheduled;
+        ev->process();
+        ++processed;
+    }
+    std::size_t index = cycle & wheelMask;
+    occupied_[index >> 6] &= ~(std::uint64_t{1} << (index & 63));
+    return processed;
 }
 
 std::uint64_t
 EventQueue::run(Cycle limit)
 {
     std::uint64_t processed = 0;
-    while (!_queue.empty()) {
-        if (_queue.top().when > limit)
+    while (_numScheduled > 0) {
+        Cycle head = nextEventCycle();
+        if (head > limit)
             break;
-        if (serviceOne())
-            ++processed;
+        processed += processCycle(head);
     }
     // Advance the clock to the limit if we stopped on it and work remains.
-    if (limit != invalidCycle && !_queue.empty() && _curCycle < limit)
+    if (limit != invalidCycle && _numScheduled > 0 && _curCycle < limit)
         _curCycle = limit;
     return processed;
 }
@@ -98,15 +168,13 @@ EventQueue::run(Cycle limit)
 void
 EventQueue::runOneCycle()
 {
-    if (_queue.empty())
+    if (wheelCount_ == 0 && overflow_.empty())
         return;
-    Cycle head = _queue.top().when;
-    while (!_queue.empty() && _queue.top().when == head)
-        serviceOne();
+    processCycle(nextEventCycle());
 }
 
 void
-EventQueue::scheduleLambda(Cycle when, std::function<void()> fn,
+EventQueue::scheduleLambda(Cycle when, SimCallback fn,
                            Event::Priority prio)
 {
     PooledLambdaEvent *ev;

@@ -6,16 +6,26 @@
  * state and is processed at most once per schedule() call. Determinism is
  * guaranteed by a FIFO tiebreak among events scheduled for the same cycle
  * with equal priority.
+ *
+ * The pending store is a timing wheel: near-future events (within
+ * `wheelSize` cycles, which covers everything on the per-access path)
+ * go into per-cycle buckets found through an occupancy bitmap, so
+ * schedule and dispatch are O(1) instead of O(log n) binary-heap
+ * operations on 40-byte records. Far-future events (periodic context
+ * switches, storm ops) overflow into a small heap and are folded into
+ * the wheel as the clock approaches them. Processing order is exactly
+ * (cycle, priority, schedule order), identical to a single global
+ * priority queue.
  */
 
 #ifndef NOCSTAR_SIM_EVENT_QUEUE_HH
 #define NOCSTAR_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
+#include "sim/inline_function.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
@@ -67,19 +77,27 @@ class Event
     std::uint64_t _generation = 0;
 };
 
-/** Convenience event wrapping a std::function. */
+/**
+ * One-shot simulation callback. The capacity covers the largest
+ * continuation chain on the per-access path (a fabric delivery
+ * carrying an organization continuation that itself owns the
+ * requester's completion callback); outgrowing it is a compile error,
+ * never a heap allocation.
+ */
+using SimCallback = InlineFunction<void(), 240>;
+
+/** Convenience event wrapping an inline callback. */
 class LambdaEvent : public Event
 {
   public:
-    explicit LambdaEvent(std::function<void()> fn,
-                         Priority prio = defaultPriority)
+    explicit LambdaEvent(SimCallback fn, Priority prio = defaultPriority)
         : Event(prio), fn_(std::move(fn))
     {}
 
     void process() override { fn_(); }
 
   private:
-    std::function<void()> fn_;
+    SimCallback fn_;
 };
 
 /**
@@ -125,7 +143,7 @@ class EventQueue
      * pool has grown to the peak number of in-flight callbacks, every
      * subsequent call reuses a recycled event.
      */
-    void scheduleLambda(Cycle when, std::function<void()> fn,
+    void scheduleLambda(Cycle when, SimCallback fn,
                         Event::Priority prio = Event::defaultPriority);
 
     /** Pooled lambda events currently awaiting reuse (test hook). */
@@ -134,6 +152,11 @@ class EventQueue
     std::size_t allocatedLambdaEvents() const { return lambdaAll_.size(); }
 
   private:
+    /** Wheel span in cycles; must be a power of two. */
+    static constexpr std::size_t wheelSize = 4096;
+    static constexpr std::size_t wheelMask = wheelSize - 1;
+    static constexpr std::size_t wheelWords = wheelSize / 64;
+
     struct Record
     {
         Cycle when;
@@ -153,8 +176,36 @@ class EventQueue
         }
     };
 
-    /** Pop and process the single front event. @return true if live. */
-    bool serviceOne();
+    /**
+     * A wheel-resident record. The cycle is implied by the bucket (a
+     * bucket only ever holds records for the one in-horizon cycle that
+     * maps to it), so it is not stored; 32-byte records keep bucket
+     * scans dense.
+     */
+    struct WheelRecord
+    {
+        Event::Priority priority;
+        std::uint64_t seq;
+        std::uint64_t generation;
+        Event *event;
+    };
+
+    /** Put a record for cycle @p when (within the horizon) in its bucket. */
+    void pushToWheel(Cycle when, const WheelRecord &rec);
+
+    /**
+     * Earliest cycle holding any pending record (live or stale), and
+     * fold newly-reachable overflow records into the wheel. Only
+     * callable while records remain.
+     */
+    Cycle nextEventCycle();
+
+    /**
+     * Process every record in @p cycle's bucket in (priority, seq)
+     * order, including records scheduled for the same cycle while
+     * processing. @return number of live events processed.
+     */
+    std::uint64_t processCycle(Cycle cycle);
 
     /**
      * A recyclable one-shot callback event owned by the queue. On
@@ -170,8 +221,7 @@ class EventQueue
         void
         process() override
         {
-            auto fn = std::move(fn_);
-            fn_ = nullptr;
+            SimCallback fn = std::move(fn_);
             owner_->lambdaFree_.push_back(this);
             fn();
         }
@@ -180,10 +230,18 @@ class EventQueue
         friend class EventQueue;
 
         EventQueue *owner_;
-        std::function<void()> fn_;
+        SimCallback fn_;
     };
 
-    std::priority_queue<Record, std::vector<Record>, std::greater<>> _queue;
+    /** Per-cycle buckets for events within the wheel horizon. */
+    std::vector<std::vector<WheelRecord>> wheel_{wheelSize};
+    /** One bit per bucket: set while the bucket holds any record. */
+    std::uint64_t occupied_[wheelWords] = {};
+    /** Records (live or stale) currently in the wheel. */
+    std::size_t wheelCount_ = 0;
+    /** Events beyond the wheel horizon, ordered by (when, prio, seq). */
+    std::priority_queue<Record, std::vector<Record>, std::greater<>>
+        overflow_;
     Cycle _curCycle = 0;
     std::uint64_t _nextSeq = 0;
     std::size_t _numScheduled = 0;

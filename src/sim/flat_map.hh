@@ -1,0 +1,284 @@
+/**
+ * @file
+ * FlatMap: an open-addressing hash map for POD keys on the simulator's
+ * per-access hot path.
+ *
+ * std::unordered_map costs one heap node per element and a pointer
+ * chase per lookup; the page table, the walker's paging-structure
+ * caches and the walk-reference line stores all sit on the translate
+ * path, so those cache misses dominate short probes. FlatMap keeps
+ * key/value slots in one contiguous array with a separate byte of
+ * state per slot (empty / full / tombstone), probes linearly from a
+ * mixed hash, and reuses the first tombstone seen on insert. Power-of-
+ * two capacity; grows (dropping tombstones) when live + dead slots
+ * pass 7/8 occupancy.
+ *
+ * Requirements: Key and Value are cheap to copy/move and default-
+ * constructible; erase uses tombstones, so pointers returned by find()
+ * stay valid until the next insert (which may rehash).
+ */
+
+#ifndef NOCSTAR_SIM_FLAT_MAP_HH
+#define NOCSTAR_SIM_FLAT_MAP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace nocstar
+{
+
+/** splitmix64 finalizer: avalanches structured integer keys. */
+inline std::uint64_t
+flatMapMix(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+template <typename Key, typename Value>
+class FlatMap
+{
+  public:
+    /** Slot layout mirrors std::pair for drop-in iteration. */
+    struct Slot
+    {
+        Key first;
+        Value second;
+    };
+
+    FlatMap() = default;
+
+    template <bool Const>
+    class Iterator
+    {
+      public:
+        using MapPtr = std::conditional_t<Const, const FlatMap *,
+                                          FlatMap *>;
+        using SlotRef = std::conditional_t<Const, const Slot &, Slot &>;
+        using SlotPtr = std::conditional_t<Const, const Slot *, Slot *>;
+
+        Iterator(MapPtr map, std::size_t pos) : map_(map), pos_(pos)
+        {
+            skipDead();
+        }
+
+        SlotRef operator*() const { return map_->slots_[pos_]; }
+        SlotPtr operator->() const { return &map_->slots_[pos_]; }
+
+        Iterator &
+        operator++()
+        {
+            ++pos_;
+            skipDead();
+            return *this;
+        }
+
+        bool
+        operator==(const Iterator &o) const
+        {
+            return pos_ == o.pos_;
+        }
+
+        bool operator!=(const Iterator &o) const { return !(*this == o); }
+
+      private:
+        void
+        skipDead()
+        {
+            while (pos_ < map_->states_.size() &&
+                   map_->states_[pos_] != kFull)
+                ++pos_;
+        }
+
+        MapPtr map_;
+        std::size_t pos_;
+    };
+
+    using iterator = Iterator<false>;
+    using const_iterator = Iterator<true>;
+
+    iterator begin() { return iterator(this, 0); }
+    iterator end() { return iterator(this, states_.size()); }
+    const_iterator begin() const { return const_iterator(this, 0); }
+    const_iterator end() const
+    {
+        return const_iterator(this, states_.size());
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Total slot count (test hook). */
+    std::size_t capacity() const { return states_.size(); }
+    /** Dead (erased, not yet reclaimed) slots (test hook). */
+    std::size_t tombstones() const { return tombstones_; }
+
+    void
+    clear()
+    {
+        states_.assign(states_.size(), kEmpty);
+        size_ = 0;
+        tombstones_ = 0;
+    }
+
+    /** Pre-size so that @p n elements insert without rehashing. */
+    void
+    reserve(std::size_t n)
+    {
+        std::size_t needed = minCapacity;
+        while (needed * 7 < n * 8)
+            needed <<= 1;
+        if (needed > states_.size())
+            rehash(needed);
+    }
+
+    /** @return pointer to the mapped value, or nullptr if absent. */
+    Value *
+    find(const Key &key)
+    {
+        std::size_t pos = findPos(key);
+        return pos != npos ? &slots_[pos].second : nullptr;
+    }
+
+    const Value *
+    find(const Key &key) const
+    {
+        std::size_t pos = findPos(key);
+        return pos != npos ? &slots_[pos].second : nullptr;
+    }
+
+    bool contains(const Key &key) const { return findPos(key) != npos; }
+
+    /**
+     * Insert (key, value) if absent.
+     * @return {pointer to the mapped value, true if newly inserted}.
+     */
+    std::pair<Value *, bool>
+    emplace(const Key &key, Value value)
+    {
+        growIfNeeded();
+        std::size_t mask = states_.size() - 1;
+        std::size_t pos = probeStart(key);
+        std::size_t grave = npos;
+        while (true) {
+            std::uint8_t state = states_[pos];
+            if (state == kEmpty) {
+                // Reuse the first tombstone crossed, keeping probe
+                // chains short after heavy erase traffic.
+                std::size_t target = grave != npos ? grave : pos;
+                if (grave != npos)
+                    --tombstones_;
+                states_[target] = kFull;
+                slots_[target].first = key;
+                slots_[target].second = std::move(value);
+                ++size_;
+                return {&slots_[target].second, true};
+            }
+            if (state == kTomb) {
+                if (grave == npos)
+                    grave = pos;
+            } else if (slots_[pos].first == key) {
+                return {&slots_[pos].second, false};
+            }
+            pos = (pos + 1) & mask;
+        }
+    }
+
+    /** Find-or-default-construct, like std::unordered_map. */
+    Value &
+    operator[](const Key &key)
+    {
+        return *emplace(key, Value{}).first;
+    }
+
+    /** @return true if the key was present and is now erased. */
+    bool
+    erase(const Key &key)
+    {
+        std::size_t pos = findPos(key);
+        if (pos == npos)
+            return false;
+        states_[pos] = kTomb;
+        ++tombstones_;
+        --size_;
+        return true;
+    }
+
+  private:
+    static constexpr std::size_t npos = ~std::size_t{0};
+    static constexpr std::size_t minCapacity = 16;
+    enum : std::uint8_t { kEmpty = 0, kFull = 1, kTomb = 2 };
+
+    std::size_t
+    probeStart(const Key &key) const
+    {
+        return static_cast<std::size_t>(
+                   flatMapMix(static_cast<std::uint64_t>(key))) &
+               (states_.size() - 1);
+    }
+
+    std::size_t
+    findPos(const Key &key) const
+    {
+        if (states_.empty())
+            return npos;
+        std::size_t mask = states_.size() - 1;
+        std::size_t pos = probeStart(key);
+        while (true) {
+            std::uint8_t state = states_[pos];
+            if (state == kEmpty)
+                return npos;
+            if (state == kFull && slots_[pos].first == key)
+                return pos;
+            pos = (pos + 1) & mask;
+        }
+    }
+
+    void
+    growIfNeeded()
+    {
+        if (states_.empty()) {
+            rehash(minCapacity);
+            return;
+        }
+        // Tombstones count against occupancy so probe chains stay
+        // bounded; rehashing reclaims them.
+        if ((size_ + tombstones_ + 1) * 8 > states_.size() * 7)
+            rehash(size_ + 1 > states_.size() * 7 / 16
+                       ? states_.size() * 2
+                       : states_.size());
+    }
+
+    void
+    rehash(std::size_t new_capacity)
+    {
+        std::vector<Slot> old_slots = std::move(slots_);
+        std::vector<std::uint8_t> old_states = std::move(states_);
+        slots_.assign(new_capacity, Slot{});
+        states_.assign(new_capacity, kEmpty);
+        std::size_t mask = new_capacity - 1;
+        tombstones_ = 0;
+        for (std::size_t i = 0; i < old_states.size(); ++i) {
+            if (old_states[i] != kFull)
+                continue;
+            std::size_t pos = probeStart(old_slots[i].first);
+            while (states_[pos] != kEmpty)
+                pos = (pos + 1) & mask;
+            states_[pos] = kFull;
+            slots_[pos] = std::move(old_slots[i]);
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::vector<std::uint8_t> states_;
+    std::size_t size_ = 0;
+    std::size_t tombstones_ = 0;
+};
+
+} // namespace nocstar
+
+#endif // NOCSTAR_SIM_FLAT_MAP_HH

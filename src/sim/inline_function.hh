@@ -1,0 +1,195 @@
+/**
+ * @file
+ * InlineFunction: a fixed-capacity, move-only replacement for
+ * std::function on the simulator's per-access hot path.
+ *
+ * Every continuation flowing through the event queue, the fabric and
+ * the organization callbacks used to be a std::function, whose capture
+ * blocks larger than the small-buffer optimization (two pointers on
+ * libstdc++) live on the heap -- one malloc/free pair per simulated
+ * message. InlineFunction stores the callable in an in-object buffer
+ * of a compile-time capacity instead; a capture block that outgrows
+ * the buffer is a build error (static_assert), never a silent
+ * allocation. Unlike std::function it also accepts move-only
+ * callables, which lets continuations own nested continuations by
+ * value.
+ *
+ * The type is move-only: moving relocates the stored callable between
+ * buffers via its move constructor and leaves the source empty.
+ */
+
+#ifndef NOCSTAR_SIM_INLINE_FUNCTION_HH
+#define NOCSTAR_SIM_INLINE_FUNCTION_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace nocstar
+{
+
+template <typename Signature, std::size_t Capacity = 48>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity>
+{
+  public:
+    InlineFunction() = default;
+    InlineFunction(std::nullptr_t) {}
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                  !std::is_same_v<std::decay_t<F>, std::nullptr_t> &&
+                  std::is_invocable_r_v<R, std::decay_t<F> &, Args...>>>
+    InlineFunction(F &&f)
+    {
+        emplace(std::forward<F>(f));
+    }
+
+    InlineFunction(InlineFunction &&other) noexcept { moveFrom(other); }
+
+    InlineFunction &
+    operator=(InlineFunction &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineFunction &
+    operator=(std::nullptr_t)
+    {
+        reset();
+        return *this;
+    }
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                  !std::is_same_v<std::decay_t<F>, std::nullptr_t> &&
+                  std::is_invocable_r_v<R, std::decay_t<F> &, Args...>>>
+    InlineFunction &
+    operator=(F &&f)
+    {
+        reset();
+        emplace(std::forward<F>(f));
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    ~InlineFunction() { reset(); }
+
+    /** @return true if a callable is stored. */
+    explicit operator bool() const { return invoke_ != nullptr; }
+
+    R
+    operator()(Args... args)
+    {
+        return invoke_(&storage_, std::forward<Args>(args)...);
+    }
+
+    /**
+     * Const invocation, matching std::function's const operator():
+     * the stored callable itself is invoked non-const (the buffer is
+     * never a genuinely const object -- continuations live in events,
+     * requests and closures, all mutable storage).
+     */
+    R
+    operator()(Args... args) const
+    {
+        return invoke_(const_cast<void *>(
+                           static_cast<const void *>(&storage_)),
+                       std::forward<Args>(args)...);
+    }
+
+    /** Drop the stored callable, leaving the function empty. */
+    void
+    reset()
+    {
+        if (destroy_) {
+            destroy_(&storage_);
+            invoke_ = nullptr;
+            relocate_ = nullptr;
+            destroy_ = nullptr;
+        }
+    }
+
+    /** Buffer capacity in bytes (compile-time). */
+    static constexpr std::size_t capacity() { return Capacity; }
+
+  private:
+    using InvokeFn = R (*)(void *, Args &&...);
+    using RelocateFn = void (*)(void *dst, void *src);
+    using DestroyFn = void (*)(void *);
+
+    template <typename F>
+    void
+    emplace(F &&f)
+    {
+        using Stored = std::decay_t<F>;
+        static_assert(sizeof(Stored) <= Capacity,
+                      "capture block exceeds InlineFunction capacity; "
+                      "raise the capacity parameter");
+        static_assert(alignof(Stored) <= alignof(std::max_align_t),
+                      "over-aligned callables are not supported");
+        static_assert(std::is_nothrow_move_constructible_v<Stored>,
+                      "InlineFunction requires nothrow-movable "
+                      "callables");
+        ::new (static_cast<void *>(&storage_))
+            Stored(std::forward<F>(f));
+        invoke_ = [](void *s, Args &&...args) -> R {
+            return (*static_cast<Stored *>(s))(
+                std::forward<Args>(args)...);
+        };
+        relocate_ = [](void *dst, void *src) {
+            Stored *from = static_cast<Stored *>(src);
+            ::new (dst) Stored(std::move(*from));
+            from->~Stored();
+        };
+        destroy_ = [](void *s) { static_cast<Stored *>(s)->~Stored(); };
+    }
+
+    void
+    moveFrom(InlineFunction &other) noexcept
+    {
+        if (!other.invoke_)
+            return;
+        other.relocate_(&storage_, &other.storage_);
+        invoke_ = other.invoke_;
+        relocate_ = other.relocate_;
+        destroy_ = other.destroy_;
+        other.invoke_ = nullptr;
+        other.relocate_ = nullptr;
+        other.destroy_ = nullptr;
+    }
+
+    InvokeFn invoke_ = nullptr;
+    RelocateFn relocate_ = nullptr;
+    DestroyFn destroy_ = nullptr;
+    alignas(std::max_align_t) unsigned char storage_[Capacity];
+};
+
+template <typename Sig, std::size_t N>
+bool
+operator==(const InlineFunction<Sig, N> &f, std::nullptr_t)
+{
+    return !f;
+}
+
+template <typename Sig, std::size_t N>
+bool
+operator!=(const InlineFunction<Sig, N> &f, std::nullptr_t)
+{
+    return static_cast<bool>(f);
+}
+
+} // namespace nocstar
+
+#endif // NOCSTAR_SIM_INLINE_FUNCTION_HH

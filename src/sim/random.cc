@@ -5,6 +5,7 @@
 
 #include "sim/random.hh"
 
+#include <algorithm>
 #include <cmath>
 
 namespace nocstar
@@ -20,6 +21,15 @@ ZipfSampler::ZipfSampler(std::uint64_t n, double alpha)
     hx0_ = h(0.5) - 1.0;
     hn_ = h(static_cast<double>(n_) + 0.5);
     s_ = 1.0 - hInverse(h(1.5) - std::pow(2.0, -alpha_));
+
+    if (alpha_ != 0.0) {
+        std::uint64_t cached = std::min<std::uint64_t>(n_, 4096);
+        rejectBound_.reserve(cached);
+        for (std::uint64_t k = 1; k <= cached; ++k) {
+            double kd = static_cast<double>(k);
+            rejectBound_.push_back(h(kd + 0.5) - std::pow(kd, -alpha_));
+        }
+    }
 }
 
 double
@@ -54,7 +64,12 @@ ZipfSampler::sample(Random &rng) const
         else if (k > n_)
             k = n_;
         double kd = static_cast<double>(k);
-        if (kd - x <= s_ || u >= h(kd + 0.5) - std::pow(kd, -alpha_))
+        if (kd - x <= s_)
+            return k - 1;
+        double bound = k <= rejectBound_.size()
+            ? rejectBound_[k - 1]
+            : h(kd + 0.5) - std::pow(kd, -alpha_);
+        if (u >= bound)
             return k - 1;
     }
 }

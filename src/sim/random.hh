@@ -132,6 +132,14 @@ class ZipfSampler
     double hx0_;
     double hn_;
     double s_;
+    /**
+     * Precomputed rejection thresholds h(k + 0.5) - k^-alpha for the
+     * most popular items. The skew concentrates nearly all draws on
+     * small k, so this removes the two pow() calls from the common
+     * rejection test; values are computed with the identical
+     * expressions, so sampling is bit-for-bit unchanged.
+     */
+    std::vector<double> rejectBound_;
 };
 
 } // namespace nocstar

@@ -31,6 +31,10 @@ SetAssocTlb::SetAssocTlb(const std::string &name, std::uint32_t entries,
     numEntries_ = entries;
     assoc_ = assoc;
     numSets_ = entries / assoc;
+    if ((numSets_ & (numSets_ - 1)) == 0)
+        setMask_ = numSets_ - 1;
+    else
+        setFastModM_ = ~static_cast<unsigned __int128>(0) / numSets_ + 1;
     entries_.resize(entries);
 }
 
@@ -48,7 +52,19 @@ SetAssocTlb::setIndex(PageNum vpn, PageSize size) const
     x ^= x >> 33;
     x *= 0xff51afd7ed558ccdULL;
     x ^= x >> 33;
-    return static_cast<std::uint32_t>(x % numSets_);
+    if (setMask_ || numSets_ == 1)
+        return static_cast<std::uint32_t>(x & setMask_);
+    // x % numSets_ via Lemire-Kaser direct remainder: the low 128 bits
+    // of M * x, multiplied by the divisor, carry the remainder in
+    // their top 64 bits. Exactly equal to the division for any x.
+    unsigned __int128 lowbits = setFastModM_ * x;
+    std::uint64_t lo = static_cast<std::uint64_t>(lowbits);
+    std::uint64_t hi = static_cast<std::uint64_t>(lowbits >> 64);
+    unsigned __int128 p_lo =
+        static_cast<unsigned __int128>(lo) * numSets_;
+    unsigned __int128 p_hi =
+        static_cast<unsigned __int128>(hi) * numSets_ + (p_lo >> 64);
+    return static_cast<std::uint32_t>(p_hi >> 64);
 }
 
 TlbEntry *

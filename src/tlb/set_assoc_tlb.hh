@@ -109,6 +109,15 @@ class SetAssocTlb : public stats::StatGroup
     std::uint32_t numEntries_;
     std::uint32_t assoc_;
     std::uint32_t numSets_;
+    /** numSets_ - 1 when the set count is a power of two, else 0. */
+    std::uint64_t setMask_ = 0;
+    /**
+     * ceil(2^128 / numSets_) for Lemire's exact remainder-by-multiply
+     * (only consulted when numSets_ is not a power of two). A 64-bit
+     * divide sits on every probe of every lookup; this replaces it
+     * with two multiplies while producing bit-identical indices.
+     */
+    unsigned __int128 setFastModM_ = 0;
     std::uint64_t lruClock_ = 0;
     std::vector<TlbEntry> entries_;
 };

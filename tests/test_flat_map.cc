@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Unit tests for FlatMap, the open-addressing map backing the page
+ * table, walker caches and cache-model line stores.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/flat_map.hh"
+#include "sim/random.hh"
+
+using namespace nocstar;
+
+TEST(FlatMap, StartsEmptyWithNoStorage)
+{
+    FlatMap<std::uint64_t, int> map;
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_EQ(map.capacity(), 0u);
+    EXPECT_EQ(map.find(42), nullptr);
+    EXPECT_FALSE(map.contains(42));
+    EXPECT_FALSE(map.erase(42));
+}
+
+TEST(FlatMap, InsertFindAndDuplicateInsert)
+{
+    FlatMap<std::uint64_t, int> map;
+    auto [value, inserted] = map.emplace(7, 70);
+    ASSERT_TRUE(inserted);
+    EXPECT_EQ(*value, 70);
+
+    auto [again, second] = map.emplace(7, 700);
+    EXPECT_FALSE(second);
+    EXPECT_EQ(*again, 70) << "emplace must not overwrite";
+
+    ASSERT_NE(map.find(7), nullptr);
+    EXPECT_EQ(*map.find(7), 70);
+    EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap, SubscriptDefaultConstructsAndUpdatesInPlace)
+{
+    FlatMap<std::uint64_t, int> map;
+    EXPECT_EQ(map[3], 0);
+    map[3] = 33;
+    EXPECT_EQ(map[3], 33);
+    map[3] += 1;
+    EXPECT_EQ(*map.find(3), 34);
+}
+
+TEST(FlatMap, EraseLeavesTombstoneUntilReused)
+{
+    FlatMap<std::uint64_t, int> map;
+    for (std::uint64_t k = 0; k < 8; ++k)
+        map.emplace(k, static_cast<int>(k));
+
+    EXPECT_TRUE(map.erase(3));
+    EXPECT_FALSE(map.contains(3));
+    EXPECT_EQ(map.size(), 7u);
+    EXPECT_EQ(map.tombstones(), 1u);
+
+    // Other keys still reachable through/around the grave.
+    for (std::uint64_t k = 0; k < 8; ++k) {
+        if (k != 3)
+            EXPECT_TRUE(map.contains(k)) << "key " << k;
+    }
+}
+
+TEST(FlatMap, InsertReusesTombstones)
+{
+    FlatMap<std::uint64_t, int> map;
+    for (std::uint64_t k = 0; k < 8; ++k)
+        map.emplace(k, 1);
+    std::size_t cap = map.capacity();
+
+    // Churn delete/insert of the same key: the tombstone created by
+    // each erase must be reclaimed by the next insert, or the table
+    // would fill with graves and rehash indefinitely.
+    for (int round = 0; round < 1000; ++round) {
+        ASSERT_TRUE(map.erase(5));
+        auto [value, inserted] = map.emplace(5, round);
+        ASSERT_TRUE(inserted);
+        ASSERT_EQ(*value, round);
+        ASSERT_LE(map.tombstones(), 1u);
+    }
+    EXPECT_EQ(map.capacity(), cap)
+        << "tombstone churn must not force growth";
+    EXPECT_EQ(map.size(), 8u);
+}
+
+TEST(FlatMap, GrowsAndKeepsAllEntries)
+{
+    FlatMap<std::uint64_t, std::uint64_t> map;
+    constexpr std::uint64_t n = 10000;
+    for (std::uint64_t k = 0; k < n; ++k)
+        map.emplace(k * 0x10001, k);
+
+    EXPECT_EQ(map.size(), n);
+    // Power-of-two capacity, below the 7/8 load bound.
+    EXPECT_EQ(map.capacity() & (map.capacity() - 1), 0u);
+    EXPECT_GE(map.capacity() * 7, map.size() * 8);
+    for (std::uint64_t k = 0; k < n; ++k) {
+        const std::uint64_t *v = map.find(k * 0x10001);
+        ASSERT_NE(v, nullptr) << "key " << k;
+        EXPECT_EQ(*v, k);
+    }
+}
+
+TEST(FlatMap, ReservePreventsRehash)
+{
+    FlatMap<std::uint64_t, int> map;
+    map.reserve(1000);
+    std::size_t cap = map.capacity();
+    for (std::uint64_t k = 0; k < 1000; ++k)
+        map.emplace(k, 1);
+    EXPECT_EQ(map.capacity(), cap);
+}
+
+TEST(FlatMap, IterationMatchesContents)
+{
+    FlatMap<std::uint64_t, int> map;
+    map.emplace(10, 1);
+    map.emplace(20, 2);
+    map.emplace(30, 3);
+    map.erase(20);
+
+    std::vector<std::pair<std::uint64_t, int>> seen;
+    for (const auto &slot : map)
+        seen.emplace_back(slot.first, slot.second);
+    std::sort(seen.begin(), seen.end());
+
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0], (std::pair<std::uint64_t, int>{10, 1}));
+    EXPECT_EQ(seen[1], (std::pair<std::uint64_t, int>{30, 3}));
+}
+
+TEST(FlatMap, RandomizedParityWithUnorderedMap)
+{
+    // Drive both maps with the same operation stream and demand
+    // identical behaviour throughout: find results, sizes, and full
+    // contents at checkpoints.
+    FlatMap<std::uint64_t, std::uint64_t> flat;
+    std::unordered_map<std::uint64_t, std::uint64_t> ref;
+    Random rng(0xf1a7f1a7);
+
+    for (int op = 0; op < 200000; ++op) {
+        std::uint64_t key = rng.below(512); // small space -> collisions
+        std::uint64_t kind = rng.below(4);
+        if (kind < 2) {
+            auto [value, inserted] = flat.emplace(key, op);
+            auto [it, ref_inserted] =
+                ref.try_emplace(key, static_cast<std::uint64_t>(op));
+            ASSERT_EQ(inserted, ref_inserted) << "op " << op;
+            ASSERT_EQ(*value, it->second) << "op " << op;
+        } else if (kind == 2) {
+            ASSERT_EQ(flat.erase(key), ref.erase(key) > 0)
+                << "op " << op;
+        } else {
+            std::uint64_t *value = flat.find(key);
+            auto it = ref.find(key);
+            ASSERT_EQ(value != nullptr, it != ref.end()) << "op " << op;
+            if (value)
+                ASSERT_EQ(*value, it->second) << "op " << op;
+        }
+        ASSERT_EQ(flat.size(), ref.size()) << "op " << op;
+
+        if (op % 5000 == 4999) {
+            std::vector<std::pair<std::uint64_t, std::uint64_t>> a, b;
+            for (const auto &slot : flat)
+                a.emplace_back(slot.first, slot.second);
+            b.assign(ref.begin(), ref.end());
+            std::sort(a.begin(), a.end());
+            std::sort(b.begin(), b.end());
+            ASSERT_EQ(a, b) << "contents diverged at op " << op;
+        }
+    }
+}
+
+TEST(FlatMap, ClearKeepsCapacityDropsContents)
+{
+    FlatMap<std::uint64_t, int> map;
+    for (std::uint64_t k = 0; k < 100; ++k)
+        map.emplace(k, 1);
+    map.erase(5);
+    std::size_t cap = map.capacity();
+
+    map.clear();
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.tombstones(), 0u);
+    EXPECT_EQ(map.capacity(), cap);
+    EXPECT_FALSE(map.contains(7));
+    map.emplace(7, 2);
+    EXPECT_EQ(*map.find(7), 2);
+}
