@@ -101,15 +101,27 @@ EventQueue::nextEventCycle()
     }
     if (!overflow_.empty() && overflow_.top().when < next)
         next = overflow_.top().when;
-    // Fold overflow records that are now within the horizon of the
-    // cycle we are about to advance to.
-    while (!overflow_.empty() && overflow_.top().when - next < wheelSize) {
+    return next;
+}
+
+void
+EventQueue::foldOverflow()
+{
+    // Bucket indices are interpreted relative to _curCycle, so a record
+    // may only enter the wheel once its cycle lies within [_curCycle,
+    // _curCycle + wheelSize). Folding relative to any anchor ahead of
+    // the clock (e.g. the next head cycle before the clock reaches it)
+    // would let the record alias to `when - wheelSize` on a later scan
+    // if the clock never catches up -- which happens whenever run()
+    // stops on its limit, or the head bucket holds only records
+    // invalidated by deschedule().
+    while (!overflow_.empty() &&
+           overflow_.top().when - _curCycle < wheelSize) {
         const Record &rec = overflow_.top();
         pushToWheel(rec.when, WheelRecord{rec.priority, rec.seq,
                                           rec.generation, rec.event});
         overflow_.pop();
     }
-    return next;
 }
 
 std::uint64_t
@@ -137,7 +149,6 @@ EventQueue::processCycle(Cycle cycle)
         if (!ev->_scheduled || ev->_generation != rec.generation)
             continue; // stale record from a deschedule/reschedule
 
-        _curCycle = cycle;
         ev->_scheduled = false;
         ev->_when = invalidCycle;
         --_numScheduled;
@@ -157,6 +168,10 @@ EventQueue::run(Cycle limit)
         Cycle head = nextEventCycle();
         if (head > limit)
             break;
+        // Advance the clock before folding so newly folded records are
+        // within the wheel horizon of _curCycle (see foldOverflow()).
+        _curCycle = head;
+        foldOverflow();
         processed += processCycle(head);
     }
     // Advance the clock to the limit if we stopped on it and work remains.
@@ -170,7 +185,10 @@ EventQueue::runOneCycle()
 {
     if (wheelCount_ == 0 && overflow_.empty())
         return;
-    processCycle(nextEventCycle());
+    Cycle head = nextEventCycle();
+    _curCycle = head;
+    foldOverflow();
+    processCycle(head);
 }
 
 void

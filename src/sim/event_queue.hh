@@ -194,11 +194,18 @@ class EventQueue
     void pushToWheel(Cycle when, const WheelRecord &rec);
 
     /**
-     * Earliest cycle holding any pending record (live or stale), and
-     * fold newly-reachable overflow records into the wheel. Only
-     * callable while records remain.
+     * Earliest cycle holding any pending record (live or stale) in the
+     * wheel or the overflow heap. Only callable while records remain.
      */
     Cycle nextEventCycle();
+
+    /**
+     * Move overflow records whose cycle now lies within the wheel
+     * horizon [_curCycle, _curCycle + wheelSize) into their buckets.
+     * Must only be called after the clock has advanced (bucket indices
+     * alias modulo wheelSize relative to _curCycle).
+     */
+    void foldOverflow();
 
     /**
      * Process every record in @p cycle's bucket in (priority, seq)

@@ -26,6 +26,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "sim/logging.hh"
+
 namespace nocstar
 {
 
@@ -92,6 +94,8 @@ class InlineFunction<R(Args...), Capacity>
     R
     operator()(Args... args)
     {
+        if (!invoke_)
+            panic("empty InlineFunction invoked");
         return invoke_(&storage_, std::forward<Args>(args)...);
     }
 
@@ -104,6 +108,8 @@ class InlineFunction<R(Args...), Capacity>
     R
     operator()(Args... args) const
     {
+        if (!invoke_)
+            panic("empty InlineFunction invoked");
         return invoke_(const_cast<void *>(
                            static_cast<const void *>(&storage_)),
                        std::forward<Args>(args)...);

@@ -207,6 +207,60 @@ TEST(EventQueue, PooledLambdaEventsAreReused)
     EXPECT_EQ(queue.freeLambdaEvents(), 1u);
 }
 
+TEST(EventQueue, FarFutureEventSurvivesLimitedRun)
+{
+    // Regression: run(limit) used to fold overflow records into the
+    // wheel relative to the head cycle before the clock reached it;
+    // breaking on the limit then left the clock behind, and the next
+    // scan misread the folded bucket as `when - wheelSize` (an event
+    // at 10000 fired at 1808 after run(50)).
+    EventQueue queue;
+    std::vector<Cycle> fired;
+    queue.scheduleLambda(10000, [&] { fired.push_back(queue.curCycle()); });
+    EXPECT_EQ(queue.run(50), 0u);
+    EXPECT_TRUE(fired.empty());
+    EXPECT_EQ(queue.run(), 1u);
+    EXPECT_EQ(fired, (std::vector<Cycle>{10000}));
+    EXPECT_EQ(queue.curCycle(), 10000u);
+}
+
+TEST(EventQueue, StaleHeadDoesNotAliasOverflowEvent)
+{
+    // Regression: a descheduled (stale) record at the head bucket let
+    // nextEventCycle() report a cycle the clock never advanced to, and
+    // overflow records folded relative to that phantom head aliased to
+    // earlier buckets (an event at 8000 fired at 3904).
+    EventQueue queue;
+    std::vector<int> log;
+    CountingEvent stale(&log, 1);
+    queue.schedule(&stale, 4000);
+    std::vector<Cycle> fired;
+    queue.scheduleLambda(8000, [&] { fired.push_back(queue.curCycle()); });
+    queue.deschedule(&stale);
+    EXPECT_EQ(queue.run(), 1u);
+    EXPECT_TRUE(log.empty());
+    EXPECT_EQ(fired, (std::vector<Cycle>{8000}));
+    EXPECT_EQ(queue.curCycle(), 8000u);
+}
+
+TEST(EventQueue, FarFutureOrderingAcrossRepeatedLimitedRuns)
+{
+    // Stepping the queue in small limit increments (the way System
+    // interleaves with context-switch/storm events that live in the
+    // overflow heap) must preserve exact (cycle, priority, seq) order.
+    EventQueue queue;
+    std::vector<int> log;
+    CountingEvent a(&log, 1), b(&log, 2), c(&log, 3), d(&log, 4);
+    queue.schedule(&a, 100);
+    queue.schedule(&b, 5000);
+    queue.schedule(&c, 9000);
+    queue.schedule(&d, 20000);
+    for (Cycle limit = 0; limit <= 25000; limit += 64)
+        queue.run(limit);
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3, 4}));
+    EXPECT_TRUE(queue.empty());
+}
+
 TEST(EventQueue, SizeTracksLiveEvents)
 {
     EventQueue queue;

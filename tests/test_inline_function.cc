@@ -57,6 +57,24 @@ TEST(InlineFunction, DefaultIsEmpty)
     EXPECT_FALSE(null_fn);
 }
 
+TEST(InlineFunction, InvokingEmptyPanics)
+{
+    // std::function threw std::bad_function_call here; calling through
+    // a null pointer instead would be silent UB. Keep the failure
+    // diagnosable.
+    InlineFunction<void()> fn;
+    EXPECT_THROW(fn(), PanicError);
+
+    const InlineFunction<int(int)> cfn(nullptr);
+    EXPECT_THROW(cfn(3), PanicError);
+
+    InlineFunction<int()> moved_from = [] { return 1; };
+    InlineFunction<int()> sink = std::move(moved_from);
+    EXPECT_THROW(moved_from(), // NOLINT(bugprone-use-after-move)
+                 PanicError);
+    EXPECT_EQ(sink(), 1);
+}
+
 TEST(InlineFunction, InvokesWithArgumentsAndReturn)
 {
     InlineFunction<int(int, int)> add = [](int a, int b) {
