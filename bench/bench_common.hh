@@ -22,12 +22,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ostream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "sim/build_info.hh"
+
 #include "cpu/system.hh"
 #include "sim/parallel.hh"
+#include "sim/trace.hh"
+#include "sim/trace_recorder.hh"
 #include "workload/spec.hh"
 
 namespace nocstar::bench
@@ -89,12 +95,55 @@ makeMixConfig(const std::array<std::size_t, 4> &combo, core::OrgKind kind,
     return config;
 }
 
-/** Run one configuration and return the result. */
+/**
+ * Observability options shared by every bench, filled in by
+ * parseBenchArgs(). All default off; the hot path is untouched (and a
+ * sweep's stdout byte-identical) unless one is requested.
+ */
+struct Observability
+{
+    /** --trace: capture structured events into the global recorder. */
+    bool trace = false;
+    /** --trace-out FILE: Chrome trace JSON destination. */
+    std::string traceOut;
+    /** --stats-json FILE: per-run stats JSON (JSONL across a sweep). */
+    std::string statsJson;
+    /** --epoch N: snapshot the stats tree every N cycles. */
+    Cycle epoch = 0;
+    /** --epoch-reset: epoch snapshots are deltas, not totals. */
+    bool epochReset = false;
+
+    bool
+    any() const
+    {
+        return trace || !traceOut.empty() || !statsJson.empty() ||
+               epoch != 0;
+    }
+};
+
+/** The process-wide observability selection (set once at startup). */
+inline Observability &
+observability()
+{
+    static Observability obs;
+    return obs;
+}
+
+/**
+ * Run one configuration and return the result. Epoch/stats-JSON
+ * observability options requested on the command line are applied to
+ * a copy of the configuration.
+ */
 inline cpu::RunResult
 runOnce(const cpu::SystemConfig &config,
         std::uint64_t accesses = defaultAccesses)
 {
-    cpu::System system(config);
+    const Observability &obs = observability();
+    cpu::SystemConfig cfg = config;
+    cfg.statsEpochInterval = obs.epoch;
+    cfg.statsEpochReset = obs.epochReset;
+    cfg.statsJsonPath = obs.statsJson;
+    cpu::System system(cfg);
     return system.run(accesses);
 }
 
@@ -113,24 +162,63 @@ struct BenchArgs
 };
 
 /**
- * Parse `[accesses] [--jobs N | --jobs=N]` in any order. An absent
- * --jobs falls back to NOCSTAR_JOBS, then hardware concurrency.
+ * Parse `[accesses] [--jobs N | --jobs=N]` plus the observability
+ * options (`--trace[=FLAGS]`, `--trace-out FILE`, `--stats-json FILE`,
+ * `--epoch N`, `--epoch-reset`) in any order. An absent --jobs falls
+ * back to NOCSTAR_JOBS, then hardware concurrency. Any observability
+ * option forces a single job so traced runs stay deterministic and
+ * the recorder sees one simulation's events in order.
  */
 inline BenchArgs
 parseBenchArgs(int argc, char **argv, std::uint64_t default_accesses)
 {
     BenchArgs args{default_accesses, 0};
+    Observability &obs = observability();
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
             args.jobs = static_cast<unsigned>(std::atoi(argv[++i]));
         } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
             args.jobs = static_cast<unsigned>(std::atoi(arg + 7));
+        } else if (std::strcmp(arg, "--trace") == 0) {
+            obs.trace = true;
+        } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+            obs.trace = true;
+            if (!trace::setFlags(arg + 8))
+                std::fprintf(stderr,
+                             "warning: unknown debug flag in '%s'\n",
+                             arg + 8);
+        } else if (std::strcmp(arg, "--trace-out") == 0 &&
+                   i + 1 < argc) {
+            obs.trace = true;
+            obs.traceOut = argv[++i];
+        } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+            obs.trace = true;
+            obs.traceOut = arg + 12;
+        } else if (std::strcmp(arg, "--stats-json") == 0 &&
+                   i + 1 < argc) {
+            obs.statsJson = argv[++i];
+        } else if (std::strncmp(arg, "--stats-json=", 13) == 0) {
+            obs.statsJson = arg + 13;
+        } else if (std::strcmp(arg, "--epoch") == 0 && i + 1 < argc) {
+            obs.epoch = static_cast<Cycle>(std::atoll(argv[++i]));
+        } else if (std::strncmp(arg, "--epoch=", 8) == 0) {
+            obs.epoch = static_cast<Cycle>(std::atoll(arg + 8));
+        } else if (std::strcmp(arg, "--epoch-reset") == 0) {
+            obs.epochReset = true;
         } else if (arg[0] != '-') {
             args.accesses =
                 static_cast<std::uint64_t>(std::atoll(arg));
         }
     }
+    if (obs.any()) {
+        if (args.jobs > 1)
+            std::fprintf(stderr,
+                         "note: observability options force --jobs 1\n");
+        args.jobs = 1;
+    }
+    if (obs.trace)
+        sim::TraceRecorder::global().start();
     if (args.jobs == 0)
         args.jobs = sim::defaultJobs();
     return args;
@@ -197,16 +285,47 @@ class SweepHarness
                          "{\"bench\": \"%s\", \"jobs\": %u, "
                          "\"sims\": %llu, \"wall_seconds\": %.6f, "
                          "\"sim_cycles\": %llu, "
-                         "\"sim_cycles_per_sec\": %.1f}\n",
+                         "\"sim_cycles_per_sec\": %.1f, "
+                         "\"git_sha\": \"%s\", "
+                         "\"compiler\": \"%s %s\", "
+                         "\"build_type\": \"%s\", "
+                         "\"host_cores\": %u}\n",
                          name_.c_str(), jobs(),
                          static_cast<unsigned long long>(simsRun_),
                          wall,
                          static_cast<unsigned long long>(simCycles_),
-                         rate);
+                         rate, build::kGitSha, build::kCompilerId,
+                         build::kCompilerVersion, build::kBuildType,
+                         std::thread::hardware_concurrency());
             std::fclose(f);
         } else {
             std::fprintf(stderr, "[%s] cannot write %s\n",
                          name_.c_str(), path.c_str());
+        }
+
+        // Export the structured trace if --trace captured anything.
+        const Observability &obs = observability();
+        if (obs.trace) {
+            const sim::TraceRecorder &rec = sim::TraceRecorder::global();
+            std::string tpath = obs.traceOut.empty()
+                                    ? "TRACE_" + name_ + ".json"
+                                    : obs.traceOut;
+            if (rec.recorded() == 0) {
+                std::fprintf(stderr, "[%s] no trace events captured\n",
+                             name_.c_str());
+            } else if (rec.exportChromeJson(tpath)) {
+                std::fprintf(
+                    stderr,
+                    "[%s] wrote %llu trace events to %s "
+                    "(%llu dropped)\n",
+                    name_.c_str(),
+                    static_cast<unsigned long long>(rec.size()),
+                    tpath.c_str(),
+                    static_cast<unsigned long long>(rec.dropped()));
+            } else {
+                std::fprintf(stderr, "[%s] cannot write %s\n",
+                             name_.c_str(), tpath.c_str());
+            }
         }
     }
 
@@ -226,6 +345,35 @@ speedupVsPrivate(const cpu::RunResult &baseline,
 {
     return other.meanCycles > 0 ? baseline.meanCycles / other.meanCycles
                                 : 0.0;
+}
+
+/**
+ * Render the per-link occupancy heatmap from a fabric's
+ * link_hold_cycles vector: one row per tile, the E/W/N/S output links
+ * of each tile as the fraction of @p cycles they were held. Written to
+ * @p os (use stderr / a file -- sweep stdout is reserved for tables).
+ */
+inline void
+printLinkHeatmap(std::ostream &os, const noc::GridTopology &topo,
+                 const stats::Vector &hold_cycles, Cycle cycles)
+{
+    os << "link occupancy (E/W/N/S per tile, fraction of "
+       << cycles << " cycles)\n";
+    char cell[64];
+    for (unsigned y = 0; y < topo.height(); ++y) {
+        for (unsigned x = 0; x < topo.width(); ++x) {
+            CoreId tile = topo.tileAt({x, y});
+            double denom = cycles ? static_cast<double>(cycles) : 1.0;
+            std::snprintf(
+                cell, sizeof(cell), "  [%3u] %.2f/%.2f/%.2f/%.2f",
+                tile, hold_cycles[tile * 4 + 0] / denom,
+                hold_cycles[tile * 4 + 1] / denom,
+                hold_cycles[tile * 4 + 2] / denom,
+                hold_cycles[tile * 4 + 3] / denom);
+            os << cell;
+        }
+        os << "\n";
+    }
 }
 
 /** Print a row of fixed-width cells. */

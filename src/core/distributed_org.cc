@@ -106,6 +106,11 @@ DistributedOrg::translate(CoreId core, ContextId ctx, Addr vaddr,
     Cycle start = portStart(slice, req_arrival + (slice == core ? 0 : 1));
     Cycle lookup_done = start + sliceLatency_;
 
+    TRACE(TLB, "core ", core, " L2 ", hit ? "hit" : "miss",
+          " vaddr 0x", std::hex, vaddr, std::dec, " home slice ",
+          slice);
+    noteSliceLookup(slice, start, lookup_done, hit != nullptr);
+
     if (hit) {
         ++l2Hits;
         Cycle completed = slice == core
@@ -152,6 +157,8 @@ DistributedOrg::shootdown(CoreId, ContextId ctx, Addr vaddr,
     ++shootdowns;
     mem::Translation t = ctx_.pageTable->translate(ctx, vaddr);
     PageNum vpn = pageNumber(vaddr, t.size);
+    TRACE(Shootdown, "vaddr 0x", std::hex, vaddr, std::dec, " to ",
+          sharers.size(), " sharers");
 
     for (CoreId sharer : sharers)
         if (ctx_.l1Invalidate)

@@ -20,6 +20,9 @@
 #include <algorithm>
 #include <bit>
 
+#include "sim/trace.hh"
+#include "sim/trace_recorder.hh"
+
 namespace nocstar::core
 {
 
@@ -37,6 +40,14 @@ NocstarFabric::NocstarFabric(const std::string &name, EventQueue &queue,
                           "total setup+traversal+wait cycles"),
       retryDistribution(this, "retries", "setup retries per message",
                         0, 64, 1),
+      linkGrants(this, "link_grants", "path grants per link",
+                 topo.linkIndexSpace()),
+      linkDenies(this, "link_denies",
+                 "failed setups this link blocked first",
+                 topo.linkIndexSpace()),
+      linkHoldCycles(this, "link_hold_cycles",
+                     "total cycles each link was held",
+                     topo.linkIndexSpace()),
       queue_(queue), topo_(topo), config_(config),
       linkHeldUntil_(topo.linkIndexSpace(), 0),
       pending_(topo.numTiles()),
@@ -99,6 +110,8 @@ NocstarFabric::send(CoreId src, CoreId dst, Cycle now, DeliverFn deliver)
         return;
     }
     Cycle active = std::max(now, queue_.curCycle());
+    TRACE(Fabric, "post one-way ", src, " -> ", dst, " active at ",
+          active);
     pending_[src].push_back(Request{src, dst, active, active, 0,
                                     false, 0, nextSeq_++,
                                     std::move(deliver)});
@@ -116,6 +129,8 @@ NocstarFabric::sendRoundTrip(CoreId src, CoreId dst, Cycle now,
         return;
     }
     Cycle active = std::max(now, queue_.curCycle());
+    TRACE(Fabric, "post round-trip ", src, " -> ", dst, " occupancy ",
+          occupancy, " active at ", active);
     pending_[src].push_back(Request{src, dst, active, active,
                                     occupancy, true, 0, nextSeq_++,
                                     std::move(deliver)});
@@ -143,19 +158,38 @@ NocstarFabric::tryAcquire(const Request &req, Cycle now)
 
     if (!config_.ideal) {
         for (std::uint32_t link : path) {
-            if (linkHeldUntil_[link] > now)
+            if (linkHeldUntil_[link] > now) {
+                linkDenies[link] += 1;
                 return false;
+            }
         }
         for (std::uint32_t link : reverse) {
-            if (linkHeldUntil_[link] > now)
+            if (linkHeldUntil_[link] > now) {
+                linkDenies[link] += 1;
                 return false;
+            }
         }
     }
 
-    for (std::uint32_t link : path)
+    bool record = sim::recording();
+    for (std::uint32_t link : path) {
         linkHeldUntil_[link] = std::max(linkHeldUntil_[link], now + hold);
-    for (std::uint32_t link : reverse)
+        linkGrants[link] += 1;
+        linkHoldCycles[link] += static_cast<double>(hold);
+        if (record)
+            sim::recorder().span(sim::Lane::Link, link, "held", now,
+                                 now + hold, req.src, req.dst, "src",
+                                 "dst");
+    }
+    for (std::uint32_t link : reverse) {
         linkHeldUntil_[link] = std::max(linkHeldUntil_[link], now + hold);
+        linkGrants[link] += 1;
+        linkHoldCycles[link] += static_cast<double>(hold);
+        if (record)
+            sim::recorder().span(sim::Lane::Link, link, "held (reverse)",
+                                 now, now + hold, req.src, req.dst,
+                                 "src", "dst");
+    }
     return true;
 }
 
@@ -202,12 +236,26 @@ NocstarFabric::arbitrate()
             ++setupFailures;
             ++req.retries;
             req.activeAt = now + 1;
+            TRACE(Fabric, "setup denied ", req.src, " -> ", req.dst,
+                  " retry ", req.retries);
+            if (sim::recording())
+                sim::recorder().instant(sim::Lane::Message, req.src,
+                                        "setup denied", now, req.dst,
+                                        req.retries, "dst", "retries");
             continue;
         }
 
         Cycle traversal = traversalCycles(pathHops(req.src, req.dst));
         Cycle arrival = now + traversal;
 
+        TRACE(Fabric, "setup granted ", req.src, " -> ", req.dst,
+              " after ", req.retries, " retries, arrival ", arrival);
+        if (sim::recording())
+            sim::recorder().span(sim::Lane::Message, req.src,
+                                 req.roundTrip ? "round-trip message"
+                                               : "message",
+                                 req.posted, arrival, req.dst,
+                                 req.retries, "dst", "retries");
         ++messagesSent;
         if (now == req.posted)
             ++zeroRetryMessages;

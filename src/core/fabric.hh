@@ -130,6 +130,14 @@ class NocstarFabric : public stats::StatGroup
     stats::Scalar zeroRetryMessages;
     stats::Scalar totalNetworkLatency; ///< send-call -> delivery cycles
     stats::Distribution retryDistribution;
+    // Per-link load-imbalance telemetry, indexed by flattened link id
+    // (GridTopology::LinkId::flatten()): how often each link was
+    // acquired, how often it was the first blocker of a failed setup,
+    // and for how many cycles in total it was held. linkHoldCycles
+    // against the run length is the per-link occupancy heatmap.
+    stats::Vector linkGrants;
+    stats::Vector linkDenies;
+    stats::Vector linkHoldCycles;
 
     /** Average cycles from send() to delivery, network portion only. */
     double

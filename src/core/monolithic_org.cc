@@ -76,23 +76,28 @@ MonolithicOrg::translate(CoreId core, ContextId ctx, Addr vaddr,
     // Functional lookup now; timing assembled below.
     const tlb::TlbEntry *hit = array.lookupAnySize(ctx, vaddr);
 
+    Cycle lookup_start;
     Cycle lookup_done;
     Cycle resp_arrival;
     if (config_.monolithicAccessOverride) {
         // Fig 4 mode: the entire network + array access is a fixed
         // number of cycles; port contention still applies.
-        Cycle start = portStart(bank, t0);
-        lookup_done = start + config_.monolithicAccessOverride;
+        lookup_start = portStart(bank, t0);
+        lookup_done = lookup_start + config_.monolithicAccessOverride;
         resp_arrival = lookup_done;
     } else {
         Cycle req_arrival = t0 + traverse(core, structureTile_, t0);
-        Cycle start = portStart(bank, req_arrival + 1);
-        lookup_done = start + bankLatency_;
+        lookup_start = portStart(bank, req_arrival + 1);
+        lookup_done = lookup_start + bankLatency_;
         resp_arrival =
             lookup_done + traverse(structureTile_, core, lookup_done);
     }
     if (ctx_.energy)
         ctx_.energy->addL2Message(energyStyle_, hops, 0); // response
+
+    TRACE(TLB, "core ", core, " L2 ", hit ? "hit" : "miss",
+          " vaddr 0x", std::hex, vaddr, std::dec, " bank ", bank);
+    noteSliceLookup(bank, lookup_start, lookup_done, hit != nullptr);
 
     if (hit) {
         ++l2Hits;
@@ -145,6 +150,8 @@ MonolithicOrg::shootdown(CoreId, ContextId ctx, Addr vaddr,
     ++shootdowns;
     mem::Translation t = ctx_.pageTable->translate(ctx, vaddr);
     PageNum vpn = pageNumber(vaddr, t.size);
+    TRACE(Shootdown, "vaddr 0x", std::hex, vaddr, std::dec, " to ",
+          sharers.size(), " sharers");
 
     for (CoreId sharer : sharers)
         if (ctx_.l1Invalidate)

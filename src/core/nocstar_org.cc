@@ -169,10 +169,14 @@ NocstarOrg::translate(CoreId core, ContextId ctx, Addr vaddr, Cycle now,
         ++l2Hits;
     else
         ++l2Misses;
+    TRACE(TLB, "core ", core, " L2 ", hit ? "hit" : "miss",
+          " vaddr 0x", std::hex, vaddr, std::dec, " home slice ",
+          slice);
 
     if (slice == core) {
         Cycle start = portStart(slice, t0);
         Cycle lookup_done = start + sliceLatency_;
+        noteSliceLookup(slice, start, lookup_done, hit);
         if (hit)
             respondHit(core, slice, entry, lookup_done, now,
                        std::move(done));
@@ -191,6 +195,7 @@ NocstarOrg::translate(CoreId core, ContextId ctx, Addr vaddr, Cycle now,
              done = std::move(done)](Cycle arrival) mutable {
                 Cycle start = portStart(slice, arrival + 1);
                 Cycle lookup_done = start + sliceLatency_;
+                noteSliceLookup(slice, start, lookup_done, hit);
                 if (hit) {
                     // Return path is pre-granted: one traversal, no
                     // arbitration.
@@ -222,6 +227,7 @@ NocstarOrg::translate(CoreId core, ContextId ctx, Addr vaddr, Cycle now,
                    done = std::move(done)](Cycle arrival) mutable {
                       Cycle start = portStart(slice, arrival + 1);
                       Cycle lookup_done = start + sliceLatency_;
+                      noteSliceLookup(slice, start, lookup_done, hit);
                       if (hit)
                           respondHit(core, slice, entry, lookup_done,
                                      now, std::move(done));
@@ -239,6 +245,8 @@ NocstarOrg::shootdown(CoreId, ContextId ctx, Addr vaddr,
     ++shootdowns;
     mem::Translation t = ctx_.pageTable->translate(ctx, vaddr);
     PageNum vpn = pageNumber(vaddr, t.size);
+    TRACE(Shootdown, "vaddr 0x", std::hex, vaddr, std::dec, " to ",
+          sharers.size(), " sharers");
 
     for (CoreId sharer : sharers)
         if (ctx_.l1Invalidate)

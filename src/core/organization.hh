@@ -21,6 +21,8 @@
 #include "noc/topology.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
+#include "sim/trace_recorder.hh"
 #include "tlb/prefetcher.hh"
 #include "tlb/set_assoc_tlb.hh"
 
@@ -188,6 +190,19 @@ class TlbOrganization : public stats::StatGroup
     /** Make a TLB entry from a walk's translation. */
     tlb::TlbEntry entryFor(ContextId ctx, Addr vaddr,
                            const mem::Translation &t) const;
+
+    /**
+     * Record one slice/bank array lookup on the structured-trace
+     * Slice lane (one track per slice). Free when recording is off.
+     */
+    void
+    noteSliceLookup(unsigned slice, Cycle start, Cycle done, bool hit)
+    {
+        if (sim::recording())
+            sim::recorder().span(sim::Lane::Slice, slice,
+                                 hit ? "lookup hit" : "lookup miss",
+                                 start, done);
+    }
 
     OrgConfig config_;
     OrgContext ctx_;

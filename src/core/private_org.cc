@@ -39,6 +39,10 @@ PrivateOrg::translate(CoreId core, ContextId ctx, Addr vaddr, Cycle now,
     const tlb::TlbEntry *hit = array.lookupAnySize(ctx, vaddr);
     Cycle lookup_done = start + lookupLatency_;
 
+    TRACE(TLB, "core ", core, " private L2 ", hit ? "hit" : "miss",
+          " vaddr 0x", std::hex, vaddr, std::dec);
+    noteSliceLookup(core, start, lookup_done, hit != nullptr);
+
     if (hit) {
         ++l2Hits;
         TranslationResult result;
@@ -83,6 +87,8 @@ PrivateOrg::shootdown(CoreId, ContextId ctx, Addr vaddr,
     ++shootdowns;
     mem::Translation t = ctx_.pageTable->translate(ctx, vaddr);
     PageNum vpn = pageNumber(vaddr, t.size);
+    TRACE(Shootdown, "vaddr 0x", std::hex, vaddr, std::dec, " to ",
+          sharers.size(), " sharers");
 
     for (CoreId sharer : sharers)
         if (ctx_.l1Invalidate)

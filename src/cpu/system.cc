@@ -7,6 +7,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
+#include <sstream>
 
 #include "core/nocstar_org.hh"
 #include "energy/sram_model.hh"
@@ -198,10 +200,21 @@ System::step(std::size_t thread_index)
     }
 
     ++l1Misses_;
+    TRACE(System, "thread ", thread_index, " core ", thread.core,
+          " L1 miss vaddr 0x", std::hex, vaddr, std::dec);
     org_->translate(
         thread.core, thread.ctx, vaddr, now,
-        [this, thread_index](const core::TranslationResult &result) {
+        [this, thread_index, vaddr,
+         now](const core::TranslationResult &result) {
             HwThread &th = threads_[thread_index];
+            if (sim::recording())
+                sim::recorder().span(
+                    sim::Lane::Translation, th.core,
+                    result.walked        ? "translation (walk)"
+                        : result.l2Hit   ? "translation (L2 hit)"
+                                         : "translation",
+                    now, result.completedAt, vaddr, thread_index,
+                    "vaddr", "thread");
             l1s_[th.core]->insert(result.entry);
             Cycle resume = std::max(result.completedAt,
                                     queue_.curCycle());
@@ -261,6 +274,9 @@ System::stormOp()
     unsigned messages = std::min<unsigned>(
         config_.stormMessagesPerOp, std::max(1u, invalidated));
     Cycle now = queue_.curCycle();
+    TRACE(Shootdown, "storm op region ", region, " ",
+          stormPromote_ ? "break" : "promote", " invalidated ",
+          invalidated, " entries, ", messages, " timed messages");
     for (unsigned m = 0; m < messages; ++m) {
         Addr page = base + (static_cast<Addr>(m)
                             << pageShift(PageSize::FourKB));
@@ -280,6 +296,47 @@ System::installStormEvent()
         return;
     queue_.scheduleLambda(queue_.curCycle() + config_.stormRemapInterval,
                           [this] { stormOp(); });
+}
+
+void
+System::installEpochEvent()
+{
+    if (config_.statsEpochInterval == 0)
+        return;
+    // lastPriority: the snapshot sees every stat update of its cycle.
+    queue_.scheduleLambda(
+        queue_.curCycle() + config_.statsEpochInterval,
+        [this] {
+            if (unfinished_ == 0)
+                return;
+            TRACE(Stats, "epoch ", epochSnapshots_.size(),
+                  " snapshot", config_.statsEpochReset
+                                   ? " (and reset)" : "");
+            std::ostringstream os;
+            os << "{\"epoch\":" << epochSnapshots_.size()
+               << ",\"cycle\":" << queue_.curCycle() << ",\"stats\":";
+            dumpJson(os);
+            os << "}";
+            epochSnapshots_.push_back(os.str());
+            if (config_.statsEpochReset)
+                resetAll();
+            installEpochEvent();
+        },
+        Event::lastPriority);
+}
+
+void
+System::dumpStatsJson(std::ostream &out) const
+{
+    out << "{\"epochs\":[";
+    for (std::size_t i = 0; i < epochSnapshots_.size(); ++i) {
+        if (i)
+            out << ",";
+        out << epochSnapshots_[i];
+    }
+    out << "],\"final\":";
+    dumpJson(out);
+    out << "}";
 }
 
 std::vector<double>
@@ -406,11 +463,24 @@ System::run(std::uint64_t accesses_per_thread)
     }
     installContextSwitchEvent();
     installStormEvent();
+    installEpochEvent();
 
     queue_.run();
 
     if (capture_)
         capture_->save(config_.captureTracePath);
+
+    if (!config_.statsJsonPath.empty()) {
+        // Append one line per run: a single run's file is a valid JSON
+        // document, a sweep's file is JSONL.
+        std::ofstream out(config_.statsJsonPath, std::ios::app);
+        if (!out)
+            warn("cannot write stats JSON to ", config_.statsJsonPath);
+        else {
+            dumpStatsJson(out);
+            out << "\n";
+        }
+    }
 
     RunResult result;
     result.appCycles.assign(config_.apps.size(), 0);

@@ -97,6 +97,24 @@ struct SystemConfig
      * AppConfig::traceFile.
      */
     std::string captureTracePath;
+
+    /**
+     * Snapshot the whole stats tree every N cycles during run()
+     * (0 = off). Snapshots are collected in memory and emitted as the
+     * "epochs" array of the stats JSON document.
+     */
+    Cycle statsEpochInterval = 0;
+    /**
+     * Reset all stats after each epoch snapshot, turning snapshots
+     * into per-interval deltas instead of cumulative totals.
+     */
+    bool statsEpochReset = false;
+    /**
+     * If non-empty, append the stats JSON document (one line) to this
+     * file after run(). One line per run: a single-run file is a valid
+     * JSON document, a sweep's file is JSONL.
+     */
+    std::string statsJsonPath;
 };
 
 /** Aggregated outcome of one simulation. */
@@ -169,6 +187,13 @@ class System : public stats::StatGroup
     static std::vector<double>
     paperBuckets(const stats::Distribution &dist);
 
+    /**
+     * Write the machine-readable stats document for this system as a
+     * single JSON object: `{"epochs":[...],"final":{<stats tree>}}`.
+     * Epoch entries are `{"epoch":k,"cycle":c,"stats":{...}}`.
+     */
+    void dumpStatsJson(std::ostream &out) const;
+
   private:
     struct HwThread
     {
@@ -220,6 +245,7 @@ class System : public stats::StatGroup
     void installContextSwitchEvent();
     void installStormEvent();
     void stormOp();
+    void installEpochEvent();
 
     SystemConfig config_;
     EventQueue queue_;
@@ -249,6 +275,9 @@ class System : public stats::StatGroup
     // Storm state.
     std::uint64_t stormRegionCursor_ = 0;
     bool stormPromote_ = true;
+
+    /** Epoch snapshots taken during run(), already JSON-rendered. */
+    std::vector<std::string> epochSnapshots_;
 };
 
 } // namespace nocstar::cpu

@@ -7,6 +7,8 @@
 
 #include <bit>
 
+#include "sim/trace.hh"
+
 namespace nocstar
 {
 
@@ -16,8 +18,17 @@ Event::~Event()
         panic("event destroyed while still scheduled");
 }
 
+EventQueue::EventQueue()
+{
+    // Trace lines emitted by components of this simulation are stamped
+    // with this queue's clock (thread-local, so parallel sweeps each
+    // stamp with their own simulation's time).
+    trace::setCycleSource(&_curCycle);
+}
+
 EventQueue::~EventQueue()
 {
+    trace::clearCycleSource(&_curCycle);
     // Pooled lambda events may still be pending at teardown; detach
     // them so their destructors do not trip the scheduled() assertion.
     for (PooledLambdaEvent *ev : lambdaAll_) {
@@ -35,6 +46,8 @@ EventQueue::schedule(Event *ev, Cycle when)
     if (when < _curCycle)
         panic("scheduling event in the past: ", when, " < ", _curCycle);
 
+    TRACE(EventQ, "schedule event prio ", ev->priority(), " for cycle ",
+          when);
     ev->_scheduled = true;
     ev->_when = when;
     ++ev->_generation;
@@ -61,6 +74,7 @@ EventQueue::deschedule(Event *ev)
 {
     if (!ev->_scheduled)
         panic("deschedule of unscheduled event");
+    TRACE(EventQ, "deschedule event queued for cycle ", ev->_when);
     // Lazy removal: bump the generation so the queued record is stale.
     ev->_scheduled = false;
     ev->_when = invalidCycle;
@@ -152,6 +166,8 @@ EventQueue::processCycle(Cycle cycle)
         ev->_scheduled = false;
         ev->_when = invalidCycle;
         --_numScheduled;
+        TRACE(EventQ, "process event prio ", rec.priority, " seq ",
+              rec.seq);
         ev->process();
         ++processed;
     }
@@ -163,6 +179,7 @@ EventQueue::processCycle(Cycle cycle)
 std::uint64_t
 EventQueue::run(Cycle limit)
 {
+    trace::setCycleSource(&_curCycle);
     std::uint64_t processed = 0;
     while (_numScheduled > 0) {
         Cycle head = nextEventCycle();

@@ -106,7 +106,8 @@ class LambdaEvent : public Event
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    /** Registers this queue's clock as the thread's trace-stamp source. */
+    EventQueue();
 
     /** Current simulation cycle. */
     Cycle curCycle() const { return _curCycle; }

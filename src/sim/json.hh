@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Minimal JSON emission helpers shared by the stats dumper, the trace
+ * recorder and the bench harness. Only what the simulator needs to
+ * *write* valid JSON: string escaping and finite number formatting.
+ */
+
+#ifndef NOCSTAR_SIM_JSON_HH
+#define NOCSTAR_SIM_JSON_HH
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace nocstar::json
+{
+
+/** Escape @p s for inclusion inside a JSON string literal. */
+inline std::string
+escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * Write @p v as a JSON number: integers exactly, reals with enough
+ * digits to round-trip, non-finite values (which JSON cannot express)
+ * as 0.
+ */
+inline void
+number(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << 0;
+        return;
+    }
+    if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+        os << static_cast<long long>(v);
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+}
+
+} // namespace nocstar::json
+
+#endif // NOCSTAR_SIM_JSON_HH

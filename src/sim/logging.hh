@@ -68,14 +68,46 @@ warn(const Args &...args)
     std::cerr << "warn: " << strCat(args...) << "\n";
 }
 
-/** Informational status output. */
+/**
+ * Informational status output. Goes to stderr: stdout is reserved for
+ * the machine-parsed tables the sweep benches print, which must stay
+ * byte-identical run to run.
+ */
 template <typename... Args>
 void
 inform(const Args &...args)
 {
-    std::cout << "info: " << strCat(args...) << "\n";
+    std::cerr << "info: " << strCat(args...) << "\n";
 }
 
 } // namespace nocstar
+
+/** Warn at most once per call site (rate-limited diagnostics). */
+#define warn_once(...) \
+    do { \
+        static bool _nocstar_once = false; \
+        if (!_nocstar_once) { \
+            _nocstar_once = true; \
+            ::nocstar::warn(__VA_ARGS__); \
+        } \
+    } while (0)
+
+/** Warn whenever @p cond holds. */
+#define warn_if(cond, ...) \
+    do { \
+        if (cond) \
+            ::nocstar::warn(__VA_ARGS__); \
+    } while (0)
+
+/** Warn the first time @p cond holds at this call site, then stay
+ * silent (the rate-limited form for per-access conditions). */
+#define warn_if_once(cond, ...) \
+    do { \
+        static bool _nocstar_once = false; \
+        if (!_nocstar_once && (cond)) { \
+            _nocstar_once = true; \
+            ::nocstar::warn(__VA_ARGS__); \
+        } \
+    } while (0)
 
 #endif // NOCSTAR_SIM_LOGGING_HH

@@ -8,6 +8,8 @@
 #include <cmath>
 #include <iomanip>
 
+#include "sim/json.hh"
+
 namespace nocstar::stats
 {
 
@@ -39,6 +41,12 @@ Scalar::dump(std::ostream &os, const std::string &prefix) const
     emitLine(os, prefix, name(), value_, desc());
 }
 
+void
+Scalar::dumpJson(std::ostream &os) const
+{
+    json::number(os, value_);
+}
+
 double
 Vector::total() const
 {
@@ -58,14 +66,36 @@ Vector::dump(std::ostream &os, const std::string &prefix) const
     emitLine(os, prefix, name() + ".total", total(), desc());
 }
 
+void
+Vector::dumpJson(std::ostream &os) const
+{
+    os << "{\"values\":[";
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+        if (i)
+            os << ",";
+        json::number(os, values_[i]);
+    }
+    os << "],\"total\":";
+    json::number(os, total());
+    os << "}";
+}
+
 Distribution::Distribution(StatGroup *parent, std::string name,
                            std::string desc, double min, double max,
                            double bucket_size)
     : Stat(parent, std::move(name), std::move(desc)),
       min_(min), max_(max), bucketSize_(bucket_size)
 {
-    if (max <= min || bucket_size <= 0)
-        panic("bad distribution bounds for ", this->name());
+    // A distribution's bounds come from configuration knobs (core
+    // counts, latency ranges), so a degenerate range is a user error,
+    // not a simulator bug: report it instead of silently allocating a
+    // nonsense bucket vector.
+    if (max <= min)
+        fatal("distribution '", this->name(), "': max (", max,
+              ") must exceed min (", min, ")");
+    if (bucket_size <= 0)
+        fatal("distribution '", this->name(), "': bucket size (",
+              bucket_size, ") must be positive");
     auto buckets = static_cast<std::size_t>(
         std::ceil((max - min) / bucket_size));
     buckets_.assign(buckets, 0);
@@ -119,6 +149,34 @@ Distribution::dump(std::ostream &os, const std::string &prefix) const
 }
 
 void
+Distribution::dumpJson(std::ostream &os) const
+{
+    os << "{\"samples\":" << samples_ << ",\"mean\":";
+    json::number(os, mean());
+    os << ",\"min\":";
+    json::number(os, minSample_);
+    os << ",\"max\":";
+    json::number(os, maxSample_);
+    os << ",\"underflow\":" << underflow_
+       << ",\"overflow\":" << overflow_ << ",\"bucket_size\":";
+    json::number(os, bucketSize_);
+    // Sparse buckets: [bucket low edge, count] pairs, non-zero only.
+    os << ",\"buckets\":[";
+    bool first = true;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (!buckets_[i])
+            continue;
+        if (!first)
+            os << ",";
+        first = false;
+        os << "[";
+        json::number(os, min_ + bucketSize_ * static_cast<double>(i));
+        os << "," << buckets_[i] << "]";
+    }
+    os << "]}";
+}
+
+void
 Distribution::reset()
 {
     std::fill(buckets_.begin(), buckets_.end(), 0);
@@ -130,6 +188,12 @@ void
 Formula::dump(std::ostream &os, const std::string &prefix) const
 {
     emitLine(os, prefix, name(), fn_(), desc());
+}
+
+void
+Formula::dumpJson(std::ostream &os) const
+{
+    json::number(os, fn_());
 }
 
 StatGroup::StatGroup(std::string name, StatGroup *parent)
@@ -176,6 +240,28 @@ StatGroup::dumpAll(std::ostream &os, const std::string &prefix) const
         stat->dump(os, path);
     for (const StatGroup *child : children_)
         child->dumpAll(os, path);
+}
+
+void
+StatGroup::dumpJson(std::ostream &os) const
+{
+    os << "{";
+    bool first = true;
+    for (const Stat *stat : statList_) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << json::escape(stat->name()) << "\":";
+        stat->dumpJson(os);
+    }
+    for (const StatGroup *child : children_) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << json::escape(child->name_) << "\":";
+        child->dumpJson(os);
+    }
+    os << "}";
 }
 
 void

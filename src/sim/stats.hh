@@ -42,6 +42,9 @@ class Stat
     /** Write one or more "name value # desc" lines. */
     virtual void dump(std::ostream &os, const std::string &prefix) const = 0;
 
+    /** Write this stat's value as one JSON value (no name, no desc). */
+    virtual void dumpJson(std::ostream &os) const = 0;
+
     /** Reset to the just-constructed state. */
     virtual void reset() = 0;
 
@@ -63,6 +66,7 @@ class Scalar : public Stat
     double value() const { return value_; }
 
     void dump(std::ostream &os, const std::string &prefix) const override;
+    void dumpJson(std::ostream &os) const override;
     void reset() override { value_ = 0; }
 
   private:
@@ -85,6 +89,7 @@ class Vector : public Stat
     double total() const;
 
     void dump(std::ostream &os, const std::string &prefix) const override;
+    void dumpJson(std::ostream &os) const override;
     void reset() override { std::fill(values_.begin(), values_.end(), 0.0); }
 
   private:
@@ -112,6 +117,7 @@ class Distribution : public Stat
     std::uint64_t overflow() const { return overflow_; }
 
     void dump(std::ostream &os, const std::string &prefix) const override;
+    void dumpJson(std::ostream &os) const override;
     void reset() override;
 
   private:
@@ -139,6 +145,7 @@ class Formula : public Stat
     double value() const { return fn_(); }
 
     void dump(std::ostream &os, const std::string &prefix) const override;
+    void dumpJson(std::ostream &os) const override;
     void reset() override {}
 
   private:
@@ -161,6 +168,14 @@ class StatGroup
 
     /** Dump this group's stats and all children, prefixed by path. */
     void dumpAll(std::ostream &os, const std::string &prefix = "") const;
+
+    /**
+     * Write this group as one JSON object: a key per stat (value only)
+     * plus a key per child group (nested object). Machine-readable
+     * counterpart of dumpAll() for sweep post-processing and the
+     * epoch-snapshot mechanism.
+     */
+    void dumpJson(std::ostream &os) const;
 
     /** Reset this group's stats and all children. */
     void resetAll();

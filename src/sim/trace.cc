@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Debug trace flag registry and line sink.
+ */
+
+#include "sim/trace.hh"
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+
+namespace nocstar::trace
+{
+
+namespace detail
+{
+
+std::array<bool, numFlags> enabledFlags = {};
+thread_local const Cycle *cycleSource = nullptr;
+
+namespace
+{
+
+/** Sink shared by all threads; lines are written atomically under a
+ * lock so parallel sweeps never interleave partial lines. */
+std::ostream *sink = nullptr;
+std::mutex sinkMutex;
+
+} // namespace
+
+void
+write(Flag flag, const std::string &message)
+{
+    std::ostringstream line;
+    line << std::setw(10) << currentCycle() << ": " << std::left
+         << std::setw(9) << flagName(flag) << ": " << message << "\n";
+    std::lock_guard<std::mutex> lock(sinkMutex);
+    (sink ? *sink : std::cerr) << line.str();
+}
+
+} // namespace detail
+
+const char *
+flagName(Flag flag)
+{
+    switch (flag) {
+      case Flag::TLB: return "TLB";
+      case Flag::Fabric: return "Fabric";
+      case Flag::Walker: return "Walker";
+      case Flag::Shootdown: return "Shootdown";
+      case Flag::EventQ: return "EventQ";
+      case Flag::System: return "System";
+      case Flag::Stats: return "Stats";
+      case Flag::NumFlags: break;
+    }
+    return "?";
+}
+
+void
+setFlag(Flag flag, bool on)
+{
+    detail::enabledFlags[static_cast<unsigned>(flag)] = on;
+}
+
+void
+clearFlags()
+{
+    detail::enabledFlags.fill(false);
+}
+
+bool
+setFlags(const std::string &csv)
+{
+    clearFlags();
+    bool all_known = true;
+    std::size_t pos = 0;
+    while (pos <= csv.size() && !csv.empty()) {
+        std::size_t comma = csv.find(',', pos);
+        std::string token = csv.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        pos = comma == std::string::npos ? csv.size() + 1 : comma + 1;
+        if (token.empty())
+            continue;
+        if (token == "All" || token == "all") {
+            detail::enabledFlags.fill(true);
+            continue;
+        }
+        bool matched = false;
+        for (unsigned f = 0; f < numFlags; ++f) {
+            if (token == flagName(static_cast<Flag>(f))) {
+                detail::enabledFlags[f] = true;
+                matched = true;
+                break;
+            }
+        }
+        if (!matched) {
+            all_known = false;
+            warn("unknown debug flag '", token,
+                 "' (known: TLB, Fabric, Walker, Shootdown, EventQ, "
+                 "System, Stats, All)");
+        }
+    }
+    return all_known;
+}
+
+void
+initFromEnv()
+{
+    if (const char *env = std::getenv("NOCSTAR_DEBUG_FLAGS"))
+        setFlags(env);
+}
+
+void
+setSink(std::ostream *os)
+{
+    std::lock_guard<std::mutex> lock(detail::sinkMutex);
+    detail::sink = os;
+}
+
+namespace
+{
+
+/** Pick up NOCSTAR_DEBUG_FLAGS before main() runs. The flag array is
+ * constant-initialized, so there is no initialization-order hazard. */
+struct EnvInit
+{
+    EnvInit() { initFromEnv(); }
+} envInit;
+
+} // namespace
+
+} // namespace nocstar::trace

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Unit tests for the debug-trace layer (flags, TRACE macro, cycle
+ * stamping) and the structured trace recorder (ring buffer, Chrome
+ * JSON export, JSON escaping).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "sim/event_queue.hh"
+#include "sim/json.hh"
+#include "sim/trace.hh"
+#include "sim/trace_recorder.hh"
+
+using namespace nocstar;
+
+namespace
+{
+
+/** Redirect trace output into a string for the test's lifetime. */
+class SinkCapture
+{
+  public:
+    SinkCapture() { trace::setSink(&os_); }
+
+    ~SinkCapture()
+    {
+        trace::setSink(nullptr);
+        trace::clearFlags();
+    }
+
+    std::string text() const { return os_.str(); }
+
+  private:
+    std::ostringstream os_;
+};
+
+} // namespace
+
+TEST(TraceFlags, SetFlagsParsesCsv)
+{
+    trace::clearFlags();
+    EXPECT_TRUE(trace::setFlags("TLB,Fabric"));
+    EXPECT_TRUE(trace::enabled(trace::Flag::TLB));
+    EXPECT_TRUE(trace::enabled(trace::Flag::Fabric));
+    EXPECT_FALSE(trace::enabled(trace::Flag::Walker));
+    EXPECT_FALSE(trace::enabled(trace::Flag::EventQ));
+    trace::clearFlags();
+}
+
+TEST(TraceFlags, SetFlagsReplacesSelection)
+{
+    trace::setFlags("TLB");
+    trace::setFlags("Walker");
+    EXPECT_FALSE(trace::enabled(trace::Flag::TLB));
+    EXPECT_TRUE(trace::enabled(trace::Flag::Walker));
+    trace::clearFlags();
+}
+
+TEST(TraceFlags, AllSelectsEverything)
+{
+    EXPECT_TRUE(trace::setFlags("All"));
+    for (unsigned f = 0; f < trace::numFlags; ++f)
+        EXPECT_TRUE(trace::enabled(static_cast<trace::Flag>(f)));
+    EXPECT_TRUE(trace::setFlags(""));
+    for (unsigned f = 0; f < trace::numFlags; ++f)
+        EXPECT_FALSE(trace::enabled(static_cast<trace::Flag>(f)));
+}
+
+TEST(TraceFlags, UnknownTokenReturnsFalseButKnownOnesApply)
+{
+    EXPECT_FALSE(trace::setFlags("TLB,Bogus"));
+    EXPECT_TRUE(trace::enabled(trace::Flag::TLB));
+    trace::clearFlags();
+}
+
+TEST(TraceFlags, SingleFlagToggle)
+{
+    trace::clearFlags();
+    trace::setFlag(trace::Flag::Shootdown, true);
+    EXPECT_TRUE(trace::enabled(trace::Flag::Shootdown));
+    trace::setFlag(trace::Flag::Shootdown, false);
+    EXPECT_FALSE(trace::enabled(trace::Flag::Shootdown));
+}
+
+#ifndef NOCSTAR_NO_TRACE
+
+TEST(TraceMacro, DisabledFlagEmitsNothingAndSkipsArguments)
+{
+    SinkCapture capture;
+    trace::clearFlags();
+    int evaluations = 0;
+    auto touch = [&evaluations] {
+        ++evaluations;
+        return 1;
+    };
+    TRACE(TLB, "should not appear ", touch());
+    EXPECT_EQ(capture.text(), "");
+    EXPECT_EQ(evaluations, 0) << "arguments must be lazily evaluated";
+}
+
+TEST(TraceMacro, EnabledFlagEmitsStampedLine)
+{
+    SinkCapture capture;
+    trace::setFlags("Fabric");
+    Cycle cycle = 42;
+    trace::setCycleSource(&cycle);
+    TRACE(Fabric, "grant ", 3, " -> ", 7);
+    trace::clearCycleSource(&cycle);
+    std::string text = capture.text();
+    EXPECT_NE(text.find("42"), std::string::npos) << text;
+    EXPECT_NE(text.find("Fabric"), std::string::npos) << text;
+    EXPECT_NE(text.find("grant 3 -> 7"), std::string::npos) << text;
+}
+
+TEST(TraceMacro, CycleSourceFollowsEventQueue)
+{
+    SinkCapture capture;
+    trace::setFlags("EventQ");
+    {
+        EventQueue queue;
+        queue.scheduleLambda(9, [] {});
+        queue.run();
+        // The schedule and process lines carry the queue's clock.
+        std::string text = capture.text();
+        EXPECT_NE(text.find("schedule event"), std::string::npos)
+            << text;
+        EXPECT_NE(text.find("process event"), std::string::npos)
+            << text;
+        EXPECT_NE(text.find(" 9: EventQ"), std::string::npos) << text;
+    }
+    // Queue destroyed: the thread's cycle source must be cleared, not
+    // dangling.
+    EXPECT_EQ(trace::currentCycle(), 0u);
+}
+
+TEST(TraceRecorderTest, DisabledRecorderIgnoresRecords)
+{
+    sim::TraceRecorder rec;
+    EXPECT_FALSE(rec.enabled());
+    rec.span(sim::Lane::Link, 0, "held", 0, 5);
+    EXPECT_EQ(rec.size(), 0u);
+    EXPECT_EQ(rec.recorded(), 0u);
+}
+
+TEST(TraceRecorderTest, RecordsSpansAndInstants)
+{
+    sim::TraceRecorder rec;
+    rec.start(16);
+    rec.span(sim::Lane::Translation, 2, "translation", 10, 25, 0xabc,
+             5, "vaddr", "thread");
+    rec.instant(sim::Lane::Message, 3, "setup denied", 12);
+    EXPECT_EQ(rec.size(), 2u);
+    EXPECT_EQ(rec.dropped(), 0u);
+    auto records = rec.snapshot();
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_STREQ(records[0].name, "translation");
+    EXPECT_EQ(records[0].start, 10u);
+    EXPECT_EQ(records[0].duration, 15u);
+    EXPECT_EQ(records[0].track, 2u);
+    EXPECT_FALSE(records[0].instant);
+    EXPECT_TRUE(records[1].instant);
+    EXPECT_EQ(records[1].duration, 0u);
+}
+
+TEST(TraceRecorderTest, RingWrapsOverwritingOldest)
+{
+    sim::TraceRecorder rec;
+    rec.start(4);
+    for (std::uint64_t i = 0; i < 6; ++i)
+        rec.span(sim::Lane::Link, 0, "held", i, i + 1, i);
+    EXPECT_EQ(rec.size(), 4u);
+    EXPECT_EQ(rec.dropped(), 2u);
+    EXPECT_EQ(rec.recorded(), 6u);
+    auto records = rec.snapshot();
+    ASSERT_EQ(records.size(), 4u);
+    // Oldest two (start 0, 1) were overwritten; order is chronological.
+    for (std::uint64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(records[i].start, i + 2);
+}
+
+TEST(TraceRecorderTest, StopFreezesCapture)
+{
+    sim::TraceRecorder rec;
+    rec.start(8);
+    rec.span(sim::Lane::Walker, 1, "walk", 0, 30);
+    rec.stop();
+    rec.span(sim::Lane::Walker, 1, "walk", 40, 70);
+    EXPECT_EQ(rec.size(), 1u);
+    // start() resets the buffer for a fresh capture.
+    rec.start(8);
+    EXPECT_EQ(rec.size(), 0u);
+    rec.stop();
+}
+
+TEST(TraceRecorderTest, ChromeExportShape)
+{
+    sim::TraceRecorder rec;
+    rec.start(8);
+    rec.span(sim::Lane::Slice, 4, "lookup hit", 100, 103, 7, 0,
+             "req", nullptr);
+    rec.instant(sim::Lane::Message, 1, "setup denied", 101, 9, 2,
+                "dst", "retries");
+    rec.stop();
+
+    std::ostringstream os;
+    rec.exportChromeJson(os);
+    std::string text = os.str();
+    // Complete event with duration on the slice lane.
+    EXPECT_NE(text.find("\"name\":\"lookup hit\""), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos) << text;
+    EXPECT_NE(text.find("\"ts\":100"), std::string::npos) << text;
+    EXPECT_NE(text.find("\"dur\":3"), std::string::npos) << text;
+    EXPECT_NE(text.find("\"args\":{\"req\":7}"), std::string::npos)
+        << text;
+    // Instant event.
+    EXPECT_NE(text.find("\"ph\":\"i\""), std::string::npos) << text;
+    EXPECT_NE(text.find("\"s\":\"t\""), std::string::npos) << text;
+    EXPECT_NE(text.find("\"args\":{\"dst\":9,\"retries\":2}"),
+              std::string::npos)
+        << text;
+    // Lane metadata.
+    EXPECT_NE(text.find("\"process_name\""), std::string::npos) << text;
+    EXPECT_NE(text.find("L2 TLB slices"), std::string::npos) << text;
+    // Balanced object/array delimiters (cheap well-formedness check).
+    EXPECT_EQ(std::count(text.begin(), text.end(), '{'),
+              std::count(text.begin(), text.end(), '}'));
+    EXPECT_EQ(std::count(text.begin(), text.end(), '['),
+              std::count(text.begin(), text.end(), ']'));
+}
+
+TEST(TraceRecorderTest, GlobalGateTracksStartStop)
+{
+    EXPECT_FALSE(sim::recording());
+    sim::TraceRecorder::global().start(16);
+    EXPECT_TRUE(sim::recording());
+    sim::recorder().span(sim::Lane::Link, 1, "held", 0, 2);
+    EXPECT_EQ(sim::TraceRecorder::global().size(), 1u);
+    sim::TraceRecorder::global().stop();
+    EXPECT_FALSE(sim::recording());
+    sim::TraceRecorder::global().clear();
+}
+
+#endif // !NOCSTAR_NO_TRACE
+
+TEST(JsonHelpers, EscapeHandlesSpecials)
+{
+    EXPECT_EQ(json::escape("plain"), "plain");
+    EXPECT_EQ(json::escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(json::escape("back\\slash"), "back\\\\slash");
+    EXPECT_EQ(json::escape("line\nbreak"), "line\\nbreak");
+    EXPECT_EQ(json::escape("tab\there"), "tab\\there");
+    EXPECT_EQ(json::escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonHelpers, NumberFormatting)
+{
+    auto render = [](double v) {
+        std::ostringstream os;
+        json::number(os, v);
+        return os.str();
+    };
+    EXPECT_EQ(render(0), "0");
+    EXPECT_EQ(render(42), "42");
+    EXPECT_EQ(render(-3), "-3");
+    EXPECT_EQ(render(2.5), "2.5");
+    EXPECT_EQ(render(1.0 / 0.0), "0"); // JSON has no Infinity
+    double parsed = std::strtod(render(0.1).c_str(), nullptr);
+    EXPECT_DOUBLE_EQ(parsed, 0.1); // round-trips
+}

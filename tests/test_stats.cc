@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "sim/stats.hh"
@@ -66,11 +67,53 @@ TEST(Stats, DistributionWeightedSamples)
     EXPECT_EQ(d.buckets()[2], 10u);
 }
 
-TEST(Stats, DistributionBadBoundsPanics)
+TEST(Stats, DistributionBadBoundsIsFatal)
+{
+    // Misconfigured bounds are a user error, not an internal invariant
+    // violation: fatal(), not panic().
+    StatGroup group("g");
+    EXPECT_THROW(Distribution(&group, "bad", "x", 5, 5, 1), FatalError);
+    EXPECT_THROW(Distribution(&group, "bad2", "x", 7, 3, 1), FatalError);
+    EXPECT_THROW(Distribution(&group, "bad3", "x", 0, 5, 0), FatalError);
+    EXPECT_THROW(Distribution(&group, "bad4", "x", 0, 5, -1),
+                 FatalError);
+}
+
+TEST(Stats, DistributionFirstSampleSetsExtrema)
 {
     StatGroup group("g");
-    EXPECT_THROW(Distribution(&group, "bad", "x", 5, 5, 1), PanicError);
-    EXPECT_THROW(Distribution(&group, "bad2", "x", 0, 5, 0), PanicError);
+    Distribution d(&group, "d", "x", 0, 10, 1);
+    // The first sample must become both min and max, even when it is
+    // above/below the zero the extrema are initialized to.
+    d.sample(7);
+    EXPECT_DOUBLE_EQ(d.minSample(), 7.0);
+    EXPECT_DOUBLE_EQ(d.maxSample(), 7.0);
+
+    Distribution e(&group, "e", "x", -10, 10, 1);
+    e.sample(-4);
+    EXPECT_DOUBLE_EQ(e.minSample(), -4.0);
+    EXPECT_DOUBLE_EQ(e.maxSample(), -4.0);
+}
+
+TEST(Stats, DistributionResetThenSample)
+{
+    StatGroup group("g");
+    Distribution d(&group, "d", "x", 0, 10, 2);
+    d.sample(1);
+    d.sample(9);
+    d.sample(-1);
+    d.sample(11);
+    d.reset();
+    EXPECT_EQ(d.numSamples(), 0u);
+    EXPECT_EQ(d.underflow(), 0u);
+    EXPECT_EQ(d.overflow(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    // Extrema must re-latch from the first post-reset sample.
+    d.sample(5);
+    EXPECT_EQ(d.numSamples(), 1u);
+    EXPECT_DOUBLE_EQ(d.minSample(), 5.0);
+    EXPECT_DOUBLE_EQ(d.maxSample(), 5.0);
+    EXPECT_EQ(d.buckets()[2], 1u);
 }
 
 TEST(Stats, FormulaComputesOnDemand)
@@ -134,6 +177,61 @@ TEST(Stats, ResetAllRecurses)
     parent.resetAll();
     EXPECT_EQ(a.value(), 0.0);
     EXPECT_EQ(b.value(), 0.0);
+}
+
+TEST(Stats, DumpJsonScalarVectorFormula)
+{
+    StatGroup group("g");
+    Scalar s(&group, "s", "scalar");
+    s += 2.5;
+    Vector v(&group, "v", "vector", 3);
+    v[1] = 4;
+    Formula f(&group, "f", "formula", [] { return 0.5; });
+
+    std::ostringstream os;
+    group.dumpJson(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("\"s\":2.5"), std::string::npos) << text;
+    EXPECT_NE(text.find("\"v\":{\"values\":[0,4,0],\"total\":4}"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("\"f\":0.5"), std::string::npos) << text;
+}
+
+TEST(Stats, DumpJsonDistribution)
+{
+    StatGroup group("g");
+    Distribution d(&group, "d", "dist", 0, 10, 2);
+    d.sample(1);
+    d.sample(3);
+    d.sample(-5);
+    std::ostringstream os;
+    group.dumpJson(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("\"samples\":3"), std::string::npos) << text;
+    EXPECT_NE(text.find("\"underflow\":1"), std::string::npos) << text;
+    // Only non-zero buckets appear, as [lo, count] pairs.
+    EXPECT_NE(text.find("[0,1]"), std::string::npos) << text;
+    EXPECT_NE(text.find("[2,1]"), std::string::npos) << text;
+    EXPECT_EQ(text.find("[4,"), std::string::npos) << text;
+}
+
+TEST(Stats, DumpJsonNestedGroupsParse)
+{
+    StatGroup parent("root");
+    StatGroup child("leaf", &parent);
+    Scalar a(&parent, "a", "top");
+    Scalar b(&child, "b", "nested");
+    a += 1;
+    b += 2;
+    std::ostringstream os;
+    parent.dumpJson(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("\"leaf\":{\"b\":2}"), std::string::npos)
+        << text;
+    // Shape sanity: braces balance.
+    EXPECT_EQ(std::count(text.begin(), text.end(), '{'),
+              std::count(text.begin(), text.end(), '}'));
 }
 
 TEST(Stats, ChildRemovesItselfOnDestruction)
