@@ -15,8 +15,10 @@ using namespace nocstar;
 int
 main(int argc, char **argv)
 {
-    std::uint64_t accesses = argc > 1
-        ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 5000;
+    bench::BenchArgs args = bench::parseBenchArgs(
+        argc, argv, 5000,
+        "NOCSTAR speedup vs private as HPCmax varies (64 cores)");
+    std::uint64_t accesses = args.accesses;
 
     std::printf("Ablation: NOCSTAR speedup vs private as HPCmax "
                 "varies (64 cores)\n");

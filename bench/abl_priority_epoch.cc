@@ -16,8 +16,10 @@ using namespace nocstar;
 int
 main(int argc, char **argv)
 {
-    std::uint64_t accesses = argc > 1
-        ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 5000;
+    bench::BenchArgs args = bench::parseBenchArgs(
+        argc, argv, 5000,
+        "NOCSTAR rotating-priority epoch sweep (gups, 64 cores)");
+    std::uint64_t accesses = args.accesses;
 
     const auto &spec = workload::findWorkload("gups");
 

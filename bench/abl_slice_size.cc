@@ -15,8 +15,10 @@ using namespace nocstar;
 int
 main(int argc, char **argv)
 {
-    std::uint64_t accesses = argc > 1
-        ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 6000;
+    bench::BenchArgs args = bench::parseBenchArgs(
+        argc, argv, 6000,
+        "NOCSTAR slice-entries ablation (32 cores)");
+    std::uint64_t accesses = args.accesses;
 
     std::printf("Ablation: NOCSTAR slice entries (32 cores, average "
                 "across workloads)\n");

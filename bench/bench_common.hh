@@ -30,6 +30,7 @@
 
 #include "sim/build_info.hh"
 
+#include "arg_parser.hh"
 #include "cpu/system.hh"
 #include "sim/parallel.hh"
 #include "sim/trace.hh"
@@ -130,19 +131,62 @@ observability()
 }
 
 /**
- * Run one configuration and return the result. Epoch/stats-JSON
- * observability options requested on the command line are applied to
- * a copy of the configuration.
+ * Fault-injection selection shared by every bench, filled in by the
+ * --fault-plan / --fault-seed options. When configured, runOnce()
+ * applies the plan to every simulated configuration; otherwise no
+ * fault machinery is instantiated anywhere.
  */
-inline cpu::RunResult
-runOnce(const cpu::SystemConfig &config,
-        std::uint64_t accesses = defaultAccesses)
+struct FaultSelection
+{
+    sim::FaultPlan plan;
+    bool planLoaded = false;
+    bool seedSet = false;
+    std::uint64_t seed = 0;
+    /** Finalized: the plan should be applied to every run. */
+    bool configured = false;
+};
+
+/** The process-wide fault selection (set once at startup). */
+inline FaultSelection &
+faultSelection()
+{
+    static FaultSelection faults;
+    return faults;
+}
+
+/**
+ * Apply the process-wide command-line selections (observability,
+ * fault plan) to a copy of @p config.
+ */
+inline cpu::SystemConfig
+applySelections(const cpu::SystemConfig &config)
 {
     const Observability &obs = observability();
     cpu::SystemConfig cfg = config;
     cfg.statsEpochInterval = obs.epoch;
     cfg.statsEpochReset = obs.epochReset;
     cfg.statsJsonPath = obs.statsJson;
+    if (faultSelection().configured)
+        cfg.org.faults = faultSelection().plan;
+    return cfg;
+}
+
+/**
+ * Run one configuration and return the result. Command-line
+ * observability and fault-plan selections are applied to a copy of
+ * the configuration, which is validated before the system is built.
+ */
+inline cpu::RunResult
+runOnce(const cpu::SystemConfig &config,
+        std::uint64_t accesses = defaultAccesses)
+{
+    cpu::SystemConfig cfg = applySelections(config);
+    if (std::vector<std::string> errors = cfg.validate();
+        !errors.empty()) {
+        for (const std::string &e : errors)
+            std::fprintf(stderr, "invalid config: %s\n", e.c_str());
+        std::exit(2);
+    }
     cpu::System system(cfg);
     return system.run(accesses);
 }
@@ -162,55 +206,111 @@ struct BenchArgs
 };
 
 /**
- * Parse `[accesses] [--jobs N | --jobs=N]` plus the observability
- * options (`--trace[=FLAGS]`, `--trace-out FILE`, `--stats-json FILE`,
- * `--epoch N`, `--epoch-reset`) in any order. An absent --jobs falls
- * back to NOCSTAR_JOBS, then hardware concurrency. Any observability
- * option forces a single job so traced runs stay deterministic and
- * the recorder sees one simulation's events in order.
+ * Register the options every bench shares on @p parser: --jobs, the
+ * observability group (`--trace[=FLAGS]`, `--trace-out FILE`,
+ * `--stats-json FILE`, `--epoch N`, `--epoch-reset`) and the fault
+ * group (`--fault-plan FILE`, `--fault-seed N`). The observability
+ * and fault options write into the process-wide singletons; --jobs
+ * writes into @p args.
  */
-inline BenchArgs
-parseBenchArgs(int argc, char **argv, std::uint64_t default_accesses)
+inline void
+addStandardBenchOptions(ArgParser &parser, BenchArgs &args)
 {
-    BenchArgs args{default_accesses, 0};
-    Observability &obs = observability();
-    for (int i = 1; i < argc; ++i) {
-        const char *arg = argv[i];
-        if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
-            args.jobs = static_cast<unsigned>(std::atoi(argv[++i]));
-        } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
-            args.jobs = static_cast<unsigned>(std::atoi(arg + 7));
-        } else if (std::strcmp(arg, "--trace") == 0) {
-            obs.trace = true;
-        } else if (std::strncmp(arg, "--trace=", 8) == 0) {
-            obs.trace = true;
-            if (!trace::setFlags(arg + 8))
+    parser.option("jobs", &args.jobs,
+                  "parallel sweep workers (default: NOCSTAR_JOBS, "
+                  "then hardware concurrency)");
+    parser.optionalValue(
+        "trace", [] { observability().trace = true; },
+        [](const std::string &flags) {
+            observability().trace = true;
+            if (!trace::setFlags(flags))
                 std::fprintf(stderr,
                              "warning: unknown debug flag in '%s'\n",
-                             arg + 8);
-        } else if (std::strcmp(arg, "--trace-out") == 0 &&
-                   i + 1 < argc) {
-            obs.trace = true;
-            obs.traceOut = argv[++i];
-        } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
-            obs.trace = true;
-            obs.traceOut = arg + 12;
-        } else if (std::strcmp(arg, "--stats-json") == 0 &&
-                   i + 1 < argc) {
-            obs.statsJson = argv[++i];
-        } else if (std::strncmp(arg, "--stats-json=", 13) == 0) {
-            obs.statsJson = arg + 13;
-        } else if (std::strcmp(arg, "--epoch") == 0 && i + 1 < argc) {
-            obs.epoch = static_cast<Cycle>(std::atoll(argv[++i]));
-        } else if (std::strncmp(arg, "--epoch=", 8) == 0) {
-            obs.epoch = static_cast<Cycle>(std::atoll(arg + 8));
-        } else if (std::strcmp(arg, "--epoch-reset") == 0) {
-            obs.epochReset = true;
-        } else if (arg[0] != '-') {
-            args.accesses =
-                static_cast<std::uint64_t>(std::atoll(arg));
-        }
-    }
+                             flags.c_str());
+            return true;
+        },
+        "capture structured events (optionally set debug flags)",
+        "FLAGS");
+    parser.option(
+        "trace-out",
+        [](const std::string &file) {
+            observability().trace = true;
+            observability().traceOut = file;
+            return true;
+        },
+        "write the Chrome trace JSON to FILE (implies --trace)",
+        "FILE");
+    parser.option("stats-json", &observability().statsJson,
+                  "append per-run stats JSON to FILE (JSONL)");
+    parser.option("epoch", &observability().epoch,
+                  "snapshot the stats tree every N cycles");
+    parser.flag("epoch-reset", &observability().epochReset,
+                "epoch snapshots are per-interval deltas, not totals");
+    parser.option(
+        "fault-plan",
+        [](const std::string &file) {
+            try {
+                faultSelection().plan = sim::FaultPlan::parseFile(file);
+            } catch (const FatalError &err) {
+                std::fprintf(stderr, "%s\n", err.what());
+                return false;
+            }
+            faultSelection().planLoaded = true;
+            return true;
+        },
+        "inject faults per this plan file (see docs)", "FILE");
+    parser.option(
+        "fault-seed",
+        [](const std::string &value) {
+            FaultSelection &faults = faultSelection();
+            if (!parseUnsigned(value, faults.seed))
+                return false;
+            faults.seedSet = true;
+            return true;
+        },
+        "override the fault plan's random seed", "N");
+}
+
+/**
+ * Build a parser preloaded with the standard bench surface: the
+ * optional ACCESSES positional (unless @p with_accesses is false)
+ * plus everything addStandardBenchOptions() registers. Benches with
+ * extra knobs add their own specs to the returned parser, then call
+ * finalizeBenchArgs().
+ */
+inline ArgParser
+makeBenchParser(int argc, char **argv, const std::string &description,
+                BenchArgs &args, bool with_accesses = true)
+{
+    (void)argc;
+    std::string program =
+        argc > 0 && argv && argv[0] ? argv[0] : "bench";
+    if (std::size_t slash = program.rfind('/');
+        slash != std::string::npos)
+        program.erase(0, slash + 1);
+    ArgParser parser(program, description);
+    if (with_accesses)
+        parser.positional("ACCESSES", &args.accesses,
+                          "accesses per thread (default " +
+                              std::to_string(args.accesses) + ")");
+    addStandardBenchOptions(parser, args);
+    return parser;
+}
+
+/**
+ * parseOrExit() and apply the cross-option rules: observability
+ * forces a single job so traced runs stay deterministic; the fault
+ * seed override lands on the loaded plan regardless of option order;
+ * an absent --jobs falls back to NOCSTAR_JOBS, then hardware
+ * concurrency. (A fault plan does NOT force one job -- fault
+ * injection is deterministic at any sweep parallelism.)
+ */
+inline BenchArgs
+finalizeBenchArgs(ArgParser &parser, int argc, char **argv,
+                  BenchArgs &args)
+{
+    parser.parseOrExit(argc, argv);
+    Observability &obs = observability();
     if (obs.any()) {
         if (args.jobs > 1)
             std::fprintf(stderr,
@@ -219,9 +319,27 @@ parseBenchArgs(int argc, char **argv, std::uint64_t default_accesses)
     }
     if (obs.trace)
         sim::TraceRecorder::global().start();
+    FaultSelection &faults = faultSelection();
+    if (faults.seedSet)
+        faults.plan.seed = faults.seed;
+    faults.configured = faults.planLoaded;
     if (args.jobs == 0)
         args.jobs = sim::defaultJobs();
     return args;
+}
+
+/**
+ * The standard bench command line: `[ACCESSES] [--jobs N]` plus the
+ * observability and fault-injection options, with auto-generated
+ * --help. Unknown flags and non-numeric values are fatal (exit 2).
+ */
+inline BenchArgs
+parseBenchArgs(int argc, char **argv, std::uint64_t default_accesses,
+               const std::string &description = "")
+{
+    BenchArgs args{default_accesses, 0};
+    ArgParser parser = makeBenchParser(argc, argv, description, args);
+    return finalizeBenchArgs(parser, argc, argv, args);
 }
 
 /**
@@ -246,11 +364,26 @@ class SweepHarness
 
     /**
      * Run every job on the pool; results are returned in input order,
-     * so downstream printing is independent of the job count.
+     * so downstream printing is independent of the job count. All
+     * configurations are validated up front, so a bad sweep reports
+     * every problem and exits before burning any simulation time.
      */
     std::vector<cpu::RunResult>
     runMany(const std::vector<SimJob> &jobs)
     {
+        std::vector<std::string> errors;
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            cpu::SystemConfig cfg = applySelections(jobs[i].config);
+            for (const std::string &e : cfg.validate())
+                errors.push_back("job #" + std::to_string(i) + ": " +
+                                 e);
+        }
+        if (!errors.empty()) {
+            for (const std::string &e : errors)
+                std::fprintf(stderr, "[%s] invalid config: %s\n",
+                             name_.c_str(), e.c_str());
+            std::exit(2);
+        }
         auto results = pool_.map(jobs, [](const SimJob &job) {
             return runOnce(job.config, job.accesses);
         });

@@ -17,11 +17,19 @@ using namespace nocstar;
 int
 main(int argc, char **argv)
 {
-    unsigned cores = argc > 1
-        ? static_cast<unsigned>(std::atoi(argv[1])) : 32;
-    std::uint64_t accesses = argc > 2
-        ? static_cast<std::uint64_t>(std::atoll(argv[2]))
-        : bench::defaultAccesses;
+    unsigned cores = 32;
+    bench::BenchArgs args{bench::defaultAccesses, 0};
+    bench::ArgParser parser = bench::makeBenchParser(
+        argc, argv,
+        "calibration harness: per-workload statistics the paper pins "
+        "down, for tuning the workload generator",
+        args, /*with_accesses=*/false);
+    parser.positional("CORES", &cores, "core count (default 32)");
+    parser.positional("ACCESSES", &args.accesses,
+                      "accesses per thread (default " +
+                          std::to_string(args.accesses) + ")");
+    bench::finalizeBenchArgs(parser, argc, argv, args);
+    std::uint64_t accesses = args.accesses;
 
     std::printf("calibration @ %u cores, %llu accesses/thread\n", cores,
                 static_cast<unsigned long long>(accesses));

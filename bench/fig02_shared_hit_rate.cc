@@ -13,8 +13,10 @@ using namespace nocstar;
 int
 main(int argc, char **argv)
 {
-    std::uint64_t base_accesses = argc > 1
-        ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 12000;
+    bench::BenchArgs args = bench::parseBenchArgs(
+        argc, argv, 12000,
+        "Fig 2: private L2 TLB misses eliminated by a shared L2");
+    std::uint64_t base_accesses = args.accesses;
 
     std::printf("Fig 2: %% of private L2 TLB misses eliminated by a "
                 "shared L2 TLB\n");

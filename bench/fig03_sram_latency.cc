@@ -8,14 +8,19 @@
 #include <cstdio>
 #include <initializer_list>
 
+#include "bench/arg_parser.hh"
 #include "energy/sram_model.hh"
 
 using namespace nocstar;
 using energy::SramModel;
 
 int
-main()
+main(int argc, char **argv)
 {
+    nocstar::bench::ArgParser parser(
+        "fig03_sram_latency",
+        "Fig 3: SRAM TLB access latency vs size (analytic model)");
+    parser.parseOrExit(argc, argv);
     std::printf("Fig 3: SRAM TLB access latency vs size "
                 "(1x = %llu entries)\n",
                 static_cast<unsigned long long>(SramModel::refEntries));

@@ -16,8 +16,10 @@ int
 main(int argc, char **argv)
 {
     constexpr unsigned cores = 32;
-    std::uint64_t accesses = argc > 1
-        ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 6000;
+    bench::BenchArgs args = bench::parseBenchArgs(
+        argc, argv, 6000,
+        "Fig 4: ideal monolithic shared-L2 speedup vs access latency");
+    std::uint64_t accesses = args.accesses;
     const Cycle latencies[] = {25, 16, 11, 9};
 
     std::printf("Fig 4: monolithic shared L2 TLB speedup vs private, "

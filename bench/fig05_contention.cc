@@ -15,8 +15,10 @@ int
 main(int argc, char **argv)
 {
     constexpr unsigned cores = 32;
-    std::uint64_t accesses = argc > 1
-        ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 6000;
+    bench::BenchArgs args = bench::parseBenchArgs(
+        argc, argv, 6000,
+        "Fig 5: concurrent-access distribution at a shared L2 TLB");
+    std::uint64_t accesses = args.accesses;
 
     static const char *bucket_names[] = {"1", "2-4", "5-8", "9-12",
                                          "13-16", "17-20", "21-24",

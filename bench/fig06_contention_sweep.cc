@@ -52,8 +52,10 @@ printBuckets(const char *label, const std::vector<double> &buckets)
 int
 main(int argc, char **argv)
 {
-    std::uint64_t base = argc > 1
-        ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 4000;
+    bench::BenchArgs args = bench::parseBenchArgs(
+        argc, argv, 4000,
+        "Fig 6: chip-wide / per-slice concurrency vs core count");
+    std::uint64_t base = args.accesses;
 
     std::printf("Fig 6 (left): chip-wide concurrency, averaged across "
                 "workloads\n");

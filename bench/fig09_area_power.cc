@@ -9,14 +9,19 @@
 #include <cstdio>
 #include <initializer_list>
 
+#include "bench/arg_parser.hh"
 #include "energy/area.hh"
 
 using namespace nocstar;
 using energy::TileAreaReport;
 
 int
-main()
+main(int argc, char **argv)
 {
+    nocstar::bench::ArgParser parser(
+        "fig09_area_power",
+        "Fig 9: place-and-routed NOCSTAR tile area/power budget");
+    parser.parseOrExit(argc, argv);
     std::printf("Fig 9: place-and-routed NOCSTAR tile budget (28 nm, "
                 "2 GHz)\n");
     std::printf("%-14s %14s %12s\n", "component", "power (mW)",

@@ -9,14 +9,19 @@
 #include <cstdio>
 #include <initializer_list>
 
+#include "bench/arg_parser.hh"
 #include "energy/sram_model.hh"
 
 using namespace nocstar;
 using energy::SramModel;
 
 int
-main()
+main(int argc, char **argv)
 {
+    nocstar::bench::ArgParser parser(
+        "fig11a_latency_vs_hops",
+        "Fig 11a: translation latency vs hop count per organization");
+    parser.parseOrExit(argc, argv);
     // 32-core equivalents: the monolithic array is 32x1536 entries,
     // slices are ~1K entries.
     const Cycle mono_lookup = SramModel::accessLatency(32 * 1536);

@@ -8,14 +8,19 @@
 #include <cstdio>
 #include <initializer_list>
 
+#include "bench/arg_parser.hh"
 #include "energy/noc_energy.hh"
 
 using namespace nocstar;
 using namespace nocstar::energy;
 
 int
-main()
+main(int argc, char **argv)
 {
+    nocstar::bench::ArgParser parser(
+        "fig11b_energy_vs_hops",
+        "Fig 11b: energy per message vs hop count");
+    parser.parseOrExit(argc, argv);
     std::printf("Fig 11b: energy per message (pJ): link/switch/control/"
                 "sram = total\n");
     std::printf("%6s  %-34s %-34s %-34s\n", "hops", "monolithic",

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <initializer_list>
 
+#include "bench/arg_parser.hh"
 #include "core/fabric.hh"
 #include "noc/queued_mesh.hh"
 #include "sim/random.hh"
@@ -81,8 +82,15 @@ runPoint(double rate, Cycle horizon)
 int
 main(int argc, char **argv)
 {
-    Cycle horizon = argc > 1
-        ? static_cast<Cycle>(std::atoll(argv[1])) : 20000;
+    std::uint64_t horizon = 20000;
+    bench::ArgParser parser(
+        "fig11c_injection_sweep",
+        "Fig 11c: NOCSTAR vs mesh latency under uniform random "
+        "traffic");
+    parser.positional("HORIZON", &horizon,
+                      "simulated cycles per injection rate "
+                      "(default 20000)");
+    parser.parseOrExit(argc, argv);
 
     std::printf("Fig 11c: 64-node uniform random traffic\n");
     std::printf("%10s %14s %16s %12s\n", "inj rate", "nocstar (cyc)",

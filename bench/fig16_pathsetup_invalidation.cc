@@ -24,8 +24,10 @@ const char *focusWorkloads[] = {"canneal", "graph500", "gups",
 int
 main(int argc, char **argv)
 {
-    std::uint64_t base_accesses = argc > 1
-        ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 8000;
+    bench::BenchArgs args = bench::parseBenchArgs(
+        argc, argv, 8000,
+        "Fig 16: path-setup frequency and invalidation overheads");
+    std::uint64_t base_accesses = args.accesses;
 
     std::printf("Fig 16 (left): speedup vs private; 1x two-way vs 2x "
                 "one-way link acquisition\n");

@@ -14,8 +14,10 @@ using namespace nocstar;
 int
 main(int argc, char **argv)
 {
-    std::uint64_t base_accesses = argc > 1
-        ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 8000;
+    bench::BenchArgs args = bench::parseBenchArgs(
+        argc, argv, 8000,
+        "Fig 17: page-table-walker placement (local vs remote walk)");
+    std::uint64_t base_accesses = args.accesses;
 
     const char *focus[] = {"canneal", "graph500", "gups", "xsbench"};
 

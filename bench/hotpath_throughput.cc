@@ -70,9 +70,10 @@ measure(const char *label, core::OrgKind kind, std::uint64_t accesses)
 int
 main(int argc, char **argv)
 {
-    std::uint64_t accesses = 20000;
-    if (argc > 1)
-        accesses = static_cast<std::uint64_t>(std::atoll(argv[1]));
+    bench::BenchArgs args = bench::parseBenchArgs(
+        argc, argv, 20000,
+        "simulator hot-path throughput guard (sim-cycles/s)");
+    std::uint64_t accesses = args.accesses;
 
     std::printf("Simulator hot-path throughput "
                 "(fig18-style mix, 32 cores, serial)\n");

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <initializer_list>
 
+#include "bench/arg_parser.hh"
 #include "noc/design_space.hh"
 
 using namespace nocstar;
@@ -18,8 +19,12 @@ using namespace nocstar::noc;
 int
 main(int argc, char **argv)
 {
-    unsigned cores = argc > 1
-        ? static_cast<unsigned>(std::atoi(argv[1])) : 64;
+    unsigned cores = 64;
+    bench::ArgParser parser(
+        "tab1_noc_design_space",
+        "Table I: TLB interconnect design choices (analytic model)");
+    parser.positional("CORES", &cores, "tile count (default 64)");
+    parser.parseOrExit(argc, argv);
 
     DesignSpace space(cores, 16);
     std::printf("Table I: TLB interconnect design choices (%u tiles)\n",

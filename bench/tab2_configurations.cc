@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <initializer_list>
 
+#include "bench/arg_parser.hh"
 #include "core/config.hh"
 #include "energy/area.hh"
 #include "energy/sram_model.hh"
@@ -18,8 +19,12 @@ using namespace nocstar::core;
 int
 main(int argc, char **argv)
 {
-    unsigned cores = argc > 1
-        ? static_cast<unsigned>(std::atoi(argv[1])) : 32;
+    unsigned cores = 32;
+    bench::ArgParser parser(
+        "tab2_configurations",
+        "Table II: simulated last-level TLB configurations");
+    parser.positional("CORES", &cores, "core count (default 32)");
+    parser.parseOrExit(argc, argv);
     unsigned banks = cores >= 64 ? 8 : 4;
 
     std::printf("Table II: simulated TLB configurations (%u cores)\n",

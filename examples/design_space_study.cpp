@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench/arg_parser.hh"
 #include "cpu/system.hh"
 
 using namespace nocstar;
@@ -42,9 +43,16 @@ run(core::OrgKind kind, unsigned cores,
 int
 main(int argc, char **argv)
 {
-    const std::string name = argc > 1 ? argv[1] : "xsbench";
-    std::uint64_t base_accesses = argc > 2
-        ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 10000;
+    std::string name = "xsbench";
+    std::uint64_t base_accesses = 10000;
+    bench::ArgParser parser(
+        "design_space_study",
+        "all organizations at 16/32/64 cores for one workload");
+    parser.positional("WORKLOAD", &name,
+                      "workload name (default xsbench)");
+    parser.positional("ACCESSES", &base_accesses,
+                      "base accesses per thread (default 10000)");
+    parser.parseOrExit(argc, argv);
     const workload::WorkloadSpec &spec = workload::findWorkload(name);
 
     const core::OrgKind kinds[] = {

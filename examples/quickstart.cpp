@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "bench/arg_parser.hh"
 #include "cpu/system.hh"
 
 using namespace nocstar;
@@ -18,9 +19,16 @@ using namespace nocstar;
 int
 main(int argc, char **argv)
 {
-    const std::string name = argc > 1 ? argv[1] : "graph500";
-    std::uint64_t accesses = argc > 2
-        ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 20000;
+    std::string name = "graph500";
+    std::uint64_t accesses = 20000;
+    bench::ArgParser parser(
+        "quickstart",
+        "16-core NOCSTAR system running one workload model");
+    parser.positional("WORKLOAD", &name,
+                      "workload name (default graph500)");
+    parser.positional("ACCESSES", &accesses,
+                      "accesses per thread (default 20000)");
+    parser.parseOrExit(argc, argv);
 
     // 1. Pick a workload model (the 11 paper workloads are built in).
     const workload::WorkloadSpec &spec = workload::findWorkload(name);

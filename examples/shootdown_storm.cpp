@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench/arg_parser.hh"
 #include "cpu/system.hh"
 
 using namespace nocstar;
@@ -20,10 +21,16 @@ using namespace nocstar;
 int
 main(int argc, char **argv)
 {
-    unsigned cores = argc > 1
-        ? static_cast<unsigned>(std::atoi(argv[1])) : 32;
-    std::uint64_t accesses = argc > 2
-        ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 8000;
+    unsigned cores = 32;
+    std::uint64_t accesses = 8000;
+    bench::ArgParser parser(
+        "shootdown_storm",
+        "remap-storm shootdown scenario across invalidation-relay "
+        "policies");
+    parser.positional("CORES", &cores, "core count (default 32)");
+    parser.positional("ACCESSES", &accesses,
+                      "accesses per thread (default 8000)");
+    parser.parseOrExit(argc, argv);
 
     const auto &spec = workload::findWorkload("canneal");
 

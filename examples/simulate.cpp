@@ -4,87 +4,49 @@
  * knob behind command-line flags, for design exploration without
  * writing code.
  *
- *   ./examples/simulate --org=nocstar --cores=32 --workload=gups \
- *       --accesses=20000 --smt=2 --prefetch=2 --ptw=remote \
- *       --no-superpages --capture=trace.txt --stats
+ *   ./examples/simulate --org nocstar --cores 32 --workload gups \
+ *       --accesses 20000 --smt 2 --prefetch 2 --ptw remote \
+ *       --no-superpages --capture trace.txt --stats \
+ *       --fault-plan outage.plan
  *
- * Run with --help for the full flag list.
+ * Run with --help for the full flag list. Both `--flag value` and
+ * `--flag=value` spellings work.
  */
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <string>
 
+#include "bench/arg_parser.hh"
 #include "cpu/system.hh"
+#include "sim/fault.hh"
 
 using namespace nocstar;
 
 namespace
 {
 
-[[noreturn]] void
-usage()
-{
-    std::printf(
-        "usage: simulate [flags]\n"
-        "  --org=KIND        private | monolithic | monolithic-smart |\n"
-        "                    distributed | ideal | nocstar |\n"
-        "                    nocstar-ideal (default nocstar)\n"
-        "  --cores=N         core count (default 16)\n"
-        "  --workload=NAME   one of the 11 paper workloads "
-        "(default graph500)\n"
-        "  --accesses=N      accesses per thread (default 20000)\n"
-        "  --threads=N       app threads (default = cores)\n"
-        "  --smt=N           SMT slots per core (default 1)\n"
-        "  --prefetch=N      TLB prefetch distance 0..3 (default 0)\n"
-        "  --ptw=WHERE       requester | remote (default requester)\n"
-        "  --acquire=MODE    oneway | roundtrip (default oneway)\n"
-        "  --hpcmax=N        fabric hops per cycle (default 16)\n"
-        "  --leaders=N       invalidation leader group (default 0)\n"
-        "  --fixed-ptw=N     fixed walk latency in cycles (default "
-        "variable)\n"
-        "  --seed=N          random seed (default 1)\n"
-        "  --no-superpages   4 KB pages only\n"
-        "  --storm           enable the TLB-storm microbenchmark\n"
-        "  --hotspot=SLICE   warp all traffic onto one slice\n"
-        "  --trace=FILE      replay a captured trace\n"
-        "  --capture=FILE    capture the address trace to FILE\n"
-        "  --stats           dump the full statistics tree\n");
-    std::exit(2);
-}
-
-core::OrgKind
-parseOrg(const std::string &name)
+bool
+parseOrg(const std::string &name, core::OrgKind &out)
 {
     if (name == "private")
-        return core::OrgKind::Private;
-    if (name == "monolithic")
-        return core::OrgKind::MonolithicMesh;
-    if (name == "monolithic-smart")
-        return core::OrgKind::MonolithicSmart;
-    if (name == "distributed")
-        return core::OrgKind::Distributed;
-    if (name == "ideal")
-        return core::OrgKind::IdealShared;
-    if (name == "nocstar")
-        return core::OrgKind::Nocstar;
-    if (name == "nocstar-ideal")
-        return core::OrgKind::NocstarIdeal;
-    std::fprintf(stderr, "unknown organization '%s'\n", name.c_str());
-    usage();
-}
-
-bool
-flagValue(const char *arg, const char *name, std::string &out)
-{
-    std::size_t len = std::strlen(name);
-    if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
-        out = arg + len + 1;
-        return true;
-    }
-    return false;
+        out = core::OrgKind::Private;
+    else if (name == "monolithic")
+        out = core::OrgKind::MonolithicMesh;
+    else if (name == "monolithic-smart")
+        out = core::OrgKind::MonolithicSmart;
+    else if (name == "distributed")
+        out = core::OrgKind::Distributed;
+    else if (name == "ideal")
+        out = core::OrgKind::IdealShared;
+    else if (name == "nocstar")
+        out = core::OrgKind::Nocstar;
+    else if (name == "nocstar-ideal")
+        out = core::OrgKind::NocstarIdeal;
+    else
+        return false;
+    return true;
 }
 
 } // namespace
@@ -99,61 +61,102 @@ main(int argc, char **argv)
     std::string trace_file;
     std::uint64_t accesses = 20000;
     unsigned threads = 0;
+    bool no_superpages = false;
+    bool storm = false;
     bool dump_stats = false;
 
-    for (int i = 1; i < argc; ++i) {
-        std::string value;
-        const char *arg = argv[i];
-        if (flagValue(arg, "--org", value))
-            config.org.kind = parseOrg(value);
-        else if (flagValue(arg, "--cores", value))
-            config.org.numCores =
-                static_cast<unsigned>(std::stoul(value));
-        else if (flagValue(arg, "--workload", value))
-            workload_name = value;
-        else if (flagValue(arg, "--accesses", value))
-            accesses = std::stoull(value);
-        else if (flagValue(arg, "--threads", value))
-            threads = static_cast<unsigned>(std::stoul(value));
-        else if (flagValue(arg, "--smt", value))
-            config.smtPerCore =
-                static_cast<unsigned>(std::stoul(value));
-        else if (flagValue(arg, "--prefetch", value))
-            config.org.prefetchDistance =
-                static_cast<unsigned>(std::stoul(value));
-        else if (flagValue(arg, "--ptw", value))
+    bench::ArgParser parser(
+        "simulate",
+        "single-run simulation driver: every organization and policy "
+        "knob behind a flag");
+    parser.option(
+        "org",
+        [&config](const std::string &value) {
+            return parseOrg(value, config.org.kind);
+        },
+        "private | monolithic | monolithic-smart | distributed | "
+        "ideal | nocstar | nocstar-ideal (default nocstar)",
+        "KIND");
+    parser.option("cores", &config.org.numCores,
+                  "core count (default 16)");
+    parser.option("workload", &workload_name,
+                  "one of the 11 paper workloads (default graph500)",
+                  "NAME");
+    parser.option("accesses", &accesses,
+                  "accesses per thread (default 20000)");
+    parser.option("threads", &threads, "app threads (default = cores)");
+    parser.option("smt", &config.smtPerCore,
+                  "SMT slots per core (default 1)");
+    parser.option("prefetch", &config.org.prefetchDistance,
+                  "TLB prefetch distance 0..3 (default 0)");
+    parser.option(
+        "ptw",
+        [&config](const std::string &value) {
+            if (value != "requester" && value != "remote")
+                return false;
             config.org.ptwPlacement = value == "remote"
                 ? core::PtwPlacement::Remote
                 : core::PtwPlacement::Requester;
-        else if (flagValue(arg, "--acquire", value))
+            return true;
+        },
+        "requester | remote (default requester)", "WHERE");
+    parser.option(
+        "acquire",
+        [&config](const std::string &value) {
+            if (value != "oneway" && value != "roundtrip")
+                return false;
             config.org.pathAcquire = value == "roundtrip"
                 ? core::PathAcquire::RoundTrip
                 : core::PathAcquire::OneWay;
-        else if (flagValue(arg, "--hpcmax", value))
-            config.org.hpcMax =
-                static_cast<unsigned>(std::stoul(value));
-        else if (flagValue(arg, "--leaders", value))
-            config.org.invalLeaderGroup =
-                static_cast<unsigned>(std::stoul(value));
-        else if (flagValue(arg, "--fixed-ptw", value))
-            config.walker.fixedLatency = std::stoull(value);
-        else if (flagValue(arg, "--seed", value))
-            config.seed = std::stoull(value);
-        else if (flagValue(arg, "--hotspot", value))
-            config.hotspotSlice = std::stoi(value);
-        else if (flagValue(arg, "--trace", value))
-            trace_file = value;
-        else if (flagValue(arg, "--capture", value))
-            config.captureTracePath = value;
-        else if (std::strcmp(arg, "--no-superpages") == 0)
-            config.superpages = false;
-        else if (std::strcmp(arg, "--storm") == 0) {
-            config.contextSwitchInterval = 50000;
-            config.stormRemapInterval = 5000;
-        } else if (std::strcmp(arg, "--stats") == 0)
-            dump_stats = true;
-        else
-            usage();
+            return true;
+        },
+        "oneway | roundtrip (default oneway)", "MODE");
+    parser.option("hpcmax", &config.org.hpcMax,
+                  "fabric hops per cycle (default 16)");
+    parser.option("leaders", &config.org.invalLeaderGroup,
+                  "invalidation leader group (default 0)");
+    parser.option("fixed-ptw", &config.walker.fixedLatency,
+                  "fixed walk latency in cycles (default variable)");
+    parser.option("seed", &config.seed, "random seed (default 1)");
+    parser.option(
+        "hotspot",
+        [&config](const std::string &value) {
+            std::uint64_t slice;
+            if (!bench::parseUnsigned(value, slice))
+                return false;
+            config.hotspotSlice = static_cast<int>(slice);
+            return true;
+        },
+        "warp a fraction of all traffic onto one slice", "SLICE");
+    parser.option("trace", &trace_file, "replay a captured trace",
+                  "FILE");
+    parser.option("capture", &config.captureTracePath,
+                  "capture the address trace to FILE", "FILE");
+    parser.flag("no-superpages", &no_superpages, "4 KB pages only");
+    parser.flag("storm", &storm,
+                "enable the TLB-storm microbenchmark");
+    parser.option(
+        "fault-plan",
+        [&config](const std::string &file) {
+            try {
+                config.org.faults = sim::FaultPlan::parseFile(file);
+            } catch (const FatalError &err) {
+                std::fprintf(stderr, "%s\n", err.what());
+                return false;
+            }
+            return true;
+        },
+        "inject faults per this plan file (see docs)", "FILE");
+    parser.option("fault-seed", &config.org.faults.seed,
+                  "override the fault plan's random seed");
+    parser.flag("stats", &dump_stats, "dump the full statistics tree");
+    parser.parseOrExit(argc, argv);
+
+    if (no_superpages)
+        config.superpages = false;
+    if (storm) {
+        config.contextSwitchInterval = 50000;
+        config.stormRemapInterval = 5000;
     }
 
     config.org.banks = config.org.numCores >= 64 ? 8 : 4;
@@ -161,6 +164,14 @@ main(int argc, char **argv)
                        threads ? threads : config.org.numCores};
     app.traceFile = trace_file;
     config.apps.push_back(app);
+
+    if (std::vector<std::string> errors = config.validate();
+        !errors.empty()) {
+        for (const std::string &error : errors)
+            std::fprintf(stderr, "simulate: invalid config: %s\n",
+                         error.c_str());
+        return 2;
+    }
 
     cpu::System system(config);
     cpu::RunResult result = system.run(accesses);
@@ -194,6 +205,15 @@ main(int argc, char **argv)
         std::printf("shootdowns          : %llu (avg %.1f cycles)\n",
                     static_cast<unsigned long long>(result.shootdowns),
                     result.avgShootdownLatency);
+    if (!config.org.faults.empty())
+        std::printf("faults              : %llu injected, %llu "
+                    "degraded msgs (%.2f %%), %llu ECC rewalks\n",
+                    static_cast<unsigned long long>(
+                        result.faultsInjected),
+                    static_cast<unsigned long long>(
+                        result.degradedMessages),
+                    100.0 * result.degradedFraction,
+                    static_cast<unsigned long long>(result.eccRewalks));
 
     if (dump_stats) {
         std::printf("\n--- statistics ---\n");

@@ -34,8 +34,13 @@
 using namespace nocstar;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ArgParser parser(
+        "trace_translation",
+        "structured-event capture demo: Chrome trace + link heatmap");
+    parser.parseOrExit(argc, argv);
+
     // 1. Turn on structured capture before building the system.
     sim::TraceRecorder::global().start();
 

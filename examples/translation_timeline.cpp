@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench/arg_parser.hh"
 #include "core/nocstar_org.hh"
 #include "mem/cache_model.hh"
 #include "mem/page_walker.hh"
@@ -17,8 +18,12 @@ using namespace nocstar;
 using namespace nocstar::core;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ArgParser parser(
+        "translation_timeline",
+        "cycle-by-cycle walkthrough of one NOCSTAR translation");
+    parser.parseOrExit(argc, argv);
     EventQueue queue;
     stats::StatGroup root("root");
     mem::PageTable table(0.0, 1);

@@ -9,7 +9,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "sim/fault.hh"
 #include "sim/types.hh"
 
 namespace nocstar::core
@@ -93,6 +95,22 @@ struct OrgConfig
 
     /** Extra cycle between L1 miss detection and L2/path initiation. */
     Cycle initiateLatency = 1;
+
+    /**
+     * Fault-injection scenario plus the resilience policy responding
+     * to it. Empty (the default) means no fault machinery is ever
+     * instantiated: the simulated timing, the random streams and the
+     * sweep output are all byte-identical to a fault-free build.
+     */
+    sim::FaultPlan faults;
+
+    /**
+     * Field-level configuration errors, one message per violation
+     * (empty means the configuration is usable). makeOrganization()
+     * fatal()s with the full list, so a bad sweep dies with every
+     * problem named instead of asserting somewhere mid-run.
+     */
+    std::vector<std::string> validate() const;
 
     /** Slice capacity actually used by this organization. */
     std::uint32_t

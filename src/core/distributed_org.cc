@@ -100,6 +100,15 @@ DistributedOrg::translate(CoreId core, ContextId ctx, Addr vaddr,
                                   hops, array.numEntries());
 
     const tlb::TlbEntry *hit = array.lookupAnySize(ctx, vaddr);
+    if (hit && eccCorrupted()) {
+        // The entry read back corrupt: drop it and take the miss path.
+        ++sliceEccRewalks;
+        ContextId ectx = hit->ctx;
+        PageNum vpn = hit->vpn;
+        PageSize size = hit->size;
+        array.invalidate(ectx, vpn, size);
+        hit = nullptr;
+    }
 
     Cycle req_arrival = slice == core
         ? t0 : t0 + network_->traverse(core, slice, t0);

@@ -48,6 +48,17 @@ NocstarFabric::NocstarFabric(const std::string &name, EventQueue &queue,
       linkHoldCycles(this, "link_hold_cycles",
                      "total cycles each link was held",
                      topo.linkIndexSpace()),
+      faultsInjected(this, "faults_injected",
+                     "link outages begun plus grants lost"),
+      degradedMessages(this, "degraded_messages",
+                       "messages delivered over the fallback mesh"),
+      backoffCycles(this, "backoff_cycles",
+                    "retry wait cycles beyond the 1-cycle minimum"),
+      watchdogTrips(this, "watchdog_trips",
+                    "stalled messages rescued by the watchdog"),
+      linkDeadCycles(this, "link_dead_cycles",
+                     "cycles each link spent fault-disabled",
+                     topo.linkIndexSpace()),
       queue_(queue), topo_(topo), config_(config),
       linkHeldUntil_(topo.linkIndexSpace(), 0),
       pending_(topo.numTiles()),
@@ -57,8 +68,33 @@ NocstarFabric::NocstarFabric(const std::string &name, EventQueue &queue,
 {
     if (config_.hpcMax == 0)
         fatal("NOCSTAR fabric needs hpcMax >= 1");
+    if (config_.faults && config_.faults->empty())
+        config_.faults = nullptr;
     buildPathTable();
     contenders_.reserve(topo_.numTiles());
+
+    if (config_.faults) {
+        const sim::FaultPlan &plan = *config_.faults;
+        if (std::vector<std::string> errors =
+                plan.validate(topo_.linkIndexSpace());
+            !errors.empty())
+            fatal("invalid fault plan for fabric '", name, "': ",
+                  errors.front());
+        faults_ = std::make_unique<sim::FaultInjector>(
+            plan, sim::FaultInjector::Stream::Fabric);
+        linkFaultyUntil_.assign(topo_.linkIndexSpace(), 0);
+        linkDeadPermanent_.assign(topo_.linkIndexSpace(), 0);
+        pairDegraded_.assign(
+            static_cast<std::size_t>(topo_.numTiles()) *
+                topo_.numTiles(), 0);
+        meshLinkFree_.assign(topo_.linkIndexSpace(), 0);
+        // Fault activations run at default priority, i.e. before the
+        // cycle's arbitration round, so an outage starting at cycle T
+        // already blocks setups in T.
+        for (const sim::LinkFaultSpec &f : plan.linkFaults)
+            queue_.scheduleLambda(f.start,
+                                  [this, f] { activateFault(f); });
+    }
 }
 
 void
@@ -171,6 +207,30 @@ NocstarFabric::tryAcquire(const Request &req, Cycle now)
         }
     }
 
+    if (faults_) {
+        // Fault-disabled links deny even the ideal fabric: an outage
+        // is physical, not contention.
+        for (std::uint32_t link : path) {
+            if (linkFaultyUntil_[link] > now) {
+                linkDenies[link] += 1;
+                return false;
+            }
+        }
+        for (std::uint32_t link : reverse) {
+            if (linkFaultyUntil_[link] > now) {
+                linkDenies[link] += 1;
+                return false;
+            }
+        }
+        // All arbiters granted; model the grant pulse itself getting
+        // corrupted on the way back (drawn only for would-be winners,
+        // so the stream is reproducible for a given plan + seed).
+        if (faults_->loseGrant()) {
+            ++faultsInjected;
+            return false;
+        }
+    }
+
     bool record = sim::recording();
     for (std::uint32_t link : path) {
         linkHeldUntil_[link] = std::max(linkHeldUntil_[link], now + hold);
@@ -231,11 +291,44 @@ NocstarFabric::arbitrate()
 
     for (CoreId src : contenders_) {
         Request &req = pending_[src].front();
+        if (faults_ &&
+            (pairDegraded_[pairIndex(req.src, req.dst)] ||
+             (req.roundTrip &&
+              pairDegraded_[pairIndex(req.dst, req.src)]))) {
+            // Route-around found no surviving circuit path; don't burn
+            // arbitration cycles on a setup that can never succeed.
+            degrade(src, now);
+            continue;
+        }
         ++setupAttempts;
         if (!tryAcquire(req, now)) {
             ++setupFailures;
             ++req.retries;
-            req.activeAt = now + 1;
+            if (faults_) {
+                const sim::FaultPlan &plan = faults_->plan();
+                if (plan.watchdogCycles != 0 &&
+                    now - req.posted >= plan.watchdogCycles) {
+                    if (plan.watchdogFatal)
+                        fatal("fabric watchdog: message ", req.src,
+                              " -> ", req.dst, " unserved for ",
+                              now - req.posted, " cycles");
+                    ++watchdogTrips;
+                    degrade(src, now);
+                    continue;
+                }
+                if (req.retries > plan.retryBudget) {
+                    degrade(src, now);
+                    continue;
+                }
+                // Capped exponential backoff: 1, 2, 4, ... cycles.
+                Cycle delay = std::min<Cycle>(
+                    plan.backoffCap,
+                    Cycle{1} << std::min(req.retries - 1, 30u));
+                req.activeAt = now + delay;
+                backoffCycles += static_cast<double>(delay - 1);
+            } else {
+                req.activeAt = now + 1;
+            }
             TRACE(Fabric, "setup denied ", req.src, " -> ", req.dst,
                   " retry ", req.retries);
             if (sim::recording())
@@ -297,6 +390,174 @@ NocstarFabric::arbitrate()
         }
         scheduleArbitration(std::max(next, now + 1));
     }
+}
+
+void
+NocstarFabric::activateFault(const sim::LinkFaultSpec &fault)
+{
+    ++faultsInjected;
+    linkFaultyUntil_[fault.link] =
+        std::max(linkFaultyUntil_[fault.link], fault.end());
+    TRACE(Fabric, "link ", fault.link, " fault window opens at ",
+          queue_.curCycle(),
+          fault.permanent() ? " (permanent)" : "");
+    if (fault.permanent() && !linkDeadPermanent_[fault.link]) {
+        linkDeadPermanent_[fault.link] = 1;
+        rebuildPaths();
+    }
+}
+
+void
+NocstarFabric::rebuildPaths()
+{
+    unsigned tiles = topo_.numTiles();
+    std::vector<std::uint32_t> offsets(
+        static_cast<std::size_t>(tiles) * tiles + 1, 0);
+    std::vector<std::uint32_t> links;
+    links.reserve(pathLinks_.size());
+
+    // BFS tree from one source over the surviving links; neighbours
+    // are visited in fixed E, W, N, S order so the rerouted paths are
+    // deterministic. Computed lazily, once per source that needs it.
+    std::vector<std::int32_t> parent(tiles);
+    std::vector<std::uint32_t> viaLink(tiles, 0);
+    std::vector<CoreId> order;
+    std::int64_t treeFor = -1;
+    auto ensureTree = [&](CoreId src) {
+        if (treeFor == static_cast<std::int64_t>(src))
+            return;
+        treeFor = src;
+        std::fill(parent.begin(), parent.end(), -1);
+        parent[src] = static_cast<std::int32_t>(src);
+        order.clear();
+        order.push_back(src);
+        static constexpr struct { int dx, dy; } step[4] = {
+            {1, 0}, {-1, 0}, {0, -1}, {0, 1}}; // E, W, N, S
+        for (std::size_t head = 0; head < order.size(); ++head) {
+            CoreId at = order[head];
+            noc::Coord c = topo_.coordOf(at);
+            for (unsigned d = 0; d < 4; ++d) {
+                int nx = static_cast<int>(c.x) + step[d].dx;
+                int ny = static_cast<int>(c.y) + step[d].dy;
+                if (nx < 0 || ny < 0 ||
+                    nx >= static_cast<int>(topo_.width()) ||
+                    ny >= static_cast<int>(topo_.height()))
+                    continue;
+                std::uint32_t link = at * 4 + d;
+                if (linkDeadPermanent_[link])
+                    continue;
+                auto to = topo_.tileAt({static_cast<unsigned>(nx),
+                                        static_cast<unsigned>(ny)});
+                if (parent[to] >= 0)
+                    continue;
+                parent[to] = static_cast<std::int32_t>(at);
+                viaLink[to] = link;
+                order.push_back(to);
+            }
+        }
+    };
+
+    // Pairs whose XY path survives keep it bit-for-bit (their timing
+    // must not change); only pairs crossing a dead link reroute.
+    std::vector<std::uint32_t> reversed;
+    for (CoreId src = 0; src < tiles; ++src) {
+        for (CoreId dst = 0; dst < tiles; ++dst) {
+            std::size_t pair = pairIndex(src, dst);
+            std::span<const std::uint32_t> old = pathLinks(src, dst);
+            bool crossesDead = false;
+            for (std::uint32_t link : old) {
+                if (linkDeadPermanent_[link]) {
+                    crossesDead = true;
+                    break;
+                }
+            }
+            if (!crossesDead) {
+                links.insert(links.end(), old.begin(), old.end());
+            } else {
+                ensureTree(src);
+                if (parent[dst] < 0) {
+                    pairDegraded_[pair] = 1;
+                    TRACE(Fabric, "no surviving path ", src, " -> ",
+                          dst, "; pair degraded to fallback mesh");
+                } else {
+                    pairDegraded_[pair] = 0;
+                    reversed.clear();
+                    for (CoreId at = dst; at != src;
+                         at = static_cast<CoreId>(parent[at]))
+                        reversed.push_back(viaLink[at]);
+                    links.insert(links.end(), reversed.rbegin(),
+                                 reversed.rend());
+                }
+            }
+            offsets[pair + 1] =
+                static_cast<std::uint32_t>(links.size());
+        }
+    }
+    pathOffset_ = std::move(offsets);
+    pathLinks_ = std::move(links);
+}
+
+void
+NocstarFabric::degrade(CoreId src, Cycle now)
+{
+    Request &req = pending_[src].front();
+    // Deliver over the store-and-forward maintenance mesh instead
+    // (noc::QueuedMeshNetwork timing: router + wire cycle per hop, one
+    // flit per link-cycle). For round-trip messages only the forward
+    // trip is recosted; the caller's pre-granted-return accounting
+    // stands in for the response, which is an understatement we accept
+    // for a degraded corner.
+    Cycle t = now;
+    for (const noc::LinkId &link : topo_.xyPath(req.src, req.dst)) {
+        t += 1; // route compute / switch allocation
+        Cycle &free_at = meshLinkFree_[link.flatten()];
+        if (free_at > t)
+            t = free_at; // wait for the link
+        free_at = t + 1;
+        t += 1; // wire traversal
+    }
+    Cycle arrival = t;
+
+    ++degradedMessages;
+    ++messagesSent;
+    retryDistribution.sample(static_cast<double>(req.retries));
+    totalNetworkLatency +=
+        static_cast<double>((arrival - req.posted) + 1);
+    TRACE(Fabric, "degraded ", req.src, " -> ", req.dst, " after ",
+          req.retries, " retries, mesh arrival ", arrival);
+    if (sim::recording())
+        sim::recorder().span(sim::Lane::Message, req.src,
+                             "degraded message", req.posted, arrival,
+                             req.dst, req.retries, "dst", "retries");
+
+    DeliverFn deliver = std::move(req.deliver);
+    queue_.scheduleLambda(arrival,
+                          [deliver = std::move(deliver), arrival] {
+                              deliver(arrival);
+                          });
+
+    pending_[src].pop_front();
+    --numPending_;
+    // The setup port frees next cycle, as for a granted setup.
+    if (!pending_[src].empty())
+        pending_[src].front().activeAt = std::max(
+            pending_[src].front().activeAt, now + 1);
+    else
+        pendingBits_[src >> 6] &= ~(std::uint64_t{1} << (src & 63));
+}
+
+void
+NocstarFabric::syncFaultStats(Cycle now)
+{
+    if (!faults_ || now <= faultStatsThrough_)
+        return;
+    for (const sim::LinkFaultSpec &f : faults_->plan().linkFaults) {
+        Cycle from = std::max(f.start, faultStatsThrough_);
+        Cycle to = std::min(f.end(), now);
+        if (to > from)
+            linkDeadCycles[f.link] += static_cast<double>(to - from);
+    }
+    faultStatsThrough_ = now;
 }
 
 } // namespace nocstar::core

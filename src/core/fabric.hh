@@ -25,6 +25,7 @@
 #define NOCSTAR_CORE_FABRIC_HH
 
 #include <deque>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -44,6 +45,12 @@ struct FabricConfig
     Cycle priorityEpoch = 1000;
     /** Contention-free mode: every setup succeeds (NOCSTAR-ideal). */
     bool ideal = false;
+    /**
+     * Fault-injection plan (not owned; must outlive the fabric).
+     * Null or empty means no fault machinery is instantiated and
+     * every hot path behaves exactly as a fault-free build.
+     */
+    const sim::FaultPlan *faults = nullptr;
 };
 
 /**
@@ -138,6 +145,23 @@ class NocstarFabric : public stats::StatGroup
     stats::Vector linkGrants;
     stats::Vector linkDenies;
     stats::Vector linkHoldCycles;
+    // Fault-injection / resilience telemetry. All stay zero (and cost
+    // nothing on the hot path) unless a fault plan is configured.
+    stats::Scalar faultsInjected; ///< outages begun + grants lost
+    /** Messages that gave up on circuit setup and fell back to the
+     * store-and-forward maintenance mesh. */
+    stats::Scalar degradedMessages;
+    stats::Scalar backoffCycles; ///< extra wait beyond the 1-cycle retry
+    stats::Scalar watchdogTrips; ///< messages rescued by the watchdog
+    /** Cycles each link spent inside a fault window, indexed like
+     * linkGrants (brought current by syncFaultStats()). */
+    stats::Vector linkDeadCycles;
+
+    /**
+     * Bring linkDeadCycles current through @p now. Called before epoch
+     * snapshots and at end of run; no-op without a fault plan.
+     */
+    void syncFaultStats(Cycle now);
 
     /** Average cycles from send() to delivery, network portion only. */
     double
@@ -174,6 +198,21 @@ class NocstarFabric : public stats::StatGroup
 
     /** Try to reserve all links of @p req's path(s). */
     bool tryAcquire(const Request &req, Cycle now);
+
+    /** A link fault window just opened: mark it, reroute if permanent. */
+    void activateFault(const sim::LinkFaultSpec &fault);
+
+    /**
+     * Recompute the path table around permanently dead links. Only
+     * pairs whose current path crosses a dead link change (BFS over
+     * the surviving links); pairs with no surviving path at all are
+     * marked degraded and served by the fallback mesh from then on.
+     */
+    void rebuildPaths();
+
+    /** Pop @p src's head request and deliver it over the fallback
+     * store-and-forward mesh instead of the circuit fabric. */
+    void degrade(CoreId src, Cycle now);
 
     void scheduleArbitration(Cycle when);
 
@@ -212,6 +251,22 @@ class NocstarFabric : public stats::StatGroup
     Cycle arbitrationScheduledFor_ = invalidCycle;
     std::uint64_t nextSeq_ = 0;
     LambdaEvent arbitrationEvent_;
+
+    // Fault machinery; allocated only when config_.faults is a
+    // non-empty plan, so the guards below reduce to one null check.
+    /** Seeded draw source for grant loss (Stream::Fabric). */
+    std::unique_ptr<sim::FaultInjector> faults_;
+    /** Cycle through which each link is fault-disabled (exclusive);
+     * invalidCycle for permanently dead links. */
+    std::vector<Cycle> linkFaultyUntil_;
+    std::vector<std::uint8_t> linkDeadPermanent_;
+    /** Per (src, dst) pair: no circuit path survives route-around. */
+    std::vector<std::uint8_t> pairDegraded_;
+    /** Per-link next-free cycle of the fallback mesh (QueuedMesh
+     * model: router + wire cycle per hop, one flit per link-cycle). */
+    std::vector<Cycle> meshLinkFree_;
+    /** linkDeadCycles is accounted through this cycle. */
+    Cycle faultStatsThrough_ = 0;
 };
 
 } // namespace nocstar::core

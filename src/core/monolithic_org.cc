@@ -75,6 +75,15 @@ MonolithicOrg::translate(CoreId core, ContextId ctx, Addr vaddr,
 
     // Functional lookup now; timing assembled below.
     const tlb::TlbEntry *hit = array.lookupAnySize(ctx, vaddr);
+    if (hit && eccCorrupted()) {
+        // The entry read back corrupt: drop it and take the miss path.
+        ++sliceEccRewalks;
+        ContextId ectx = hit->ctx;
+        PageNum vpn = hit->vpn;
+        PageSize size = hit->size;
+        array.invalidate(ectx, vpn, size);
+        hit = nullptr;
+    }
 
     Cycle lookup_start;
     Cycle lookup_done;

@@ -20,6 +20,11 @@ NocstarOrg::NocstarOrg(const OrgConfig &config, OrgContext context,
     fabric_config.hpcMax = config.hpcMax;
     fabric_config.priorityEpoch = config.priorityEpoch;
     fabric_config.ideal = config.kind == OrgKind::NocstarIdeal;
+    // Point at the base class's stable copy of the plan, not the
+    // caller's argument; stays null (no fault machinery at all) for
+    // the empty default plan.
+    if (!config_.faults.empty())
+        fabric_config.faults = &config_.faults;
     fabric_ = std::make_unique<NocstarFabric>("fabric", *ctx_.queue,
                                               topo_, fabric_config, this);
 
@@ -164,6 +169,13 @@ NocstarOrg::translate(CoreId core, ContextId ctx, Addr vaddr, Cycle now,
     const tlb::TlbEntry *hit_entry = array.lookupAnySize(ctx, vaddr);
     bool hit = hit_entry != nullptr;
     tlb::TlbEntry entry = hit ? *hit_entry : tlb::TlbEntry{};
+    if (hit && eccCorrupted()) {
+        // The entry read back corrupt: drop it and take the miss path.
+        ++sliceEccRewalks;
+        array.invalidate(entry.ctx, entry.vpn, entry.size);
+        hit = false;
+        entry = tlb::TlbEntry{};
+    }
 
     if (hit)
         ++l2Hits;

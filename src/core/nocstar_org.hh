@@ -42,6 +42,12 @@ class NocstarOrg : public TlbOrganization
 
     std::uint64_t totalEntries() const override;
 
+    void
+    syncFaultStats(Cycle now) override
+    {
+        fabric_->syncFaultStats(now);
+    }
+
     /** Home slice: 4 KB-granule interleaving (same as distributed). */
     CoreId
     sliceOf(Addr vaddr) const

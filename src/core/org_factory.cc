@@ -16,6 +16,9 @@ std::unique_ptr<TlbOrganization>
 makeOrganization(const OrgConfig &config, OrgContext context,
                  stats::StatGroup *parent)
 {
+    if (std::vector<std::string> errors = config.validate();
+        !errors.empty())
+        fatal("invalid organization config:", joinConfigErrors(errors));
     switch (config.kind) {
       case OrgKind::Private:
         return std::make_unique<PrivateOrg>(config, std::move(context),

@@ -43,6 +43,75 @@ isShared(OrgKind kind)
     return kind != OrgKind::Private;
 }
 
+std::vector<std::string>
+OrgConfig::validate() const
+{
+    std::vector<std::string> errors;
+    if (numCores == 0)
+        errors.push_back("numCores must be >= 1");
+    if (l2Entries == 0)
+        errors.push_back("l2Entries must be >= 1");
+    if (l2Assoc == 0)
+        errors.push_back("l2Assoc must be >= 1");
+    if (l2Assoc != 0 && l2Entries % l2Assoc != 0)
+        errors.push_back(strCat("l2Entries (", l2Entries,
+                                ") not a multiple of l2Assoc (",
+                                l2Assoc, ")"));
+    if (readPortsPerCycle == 0)
+        errors.push_back("readPortsPerCycle must be >= 1");
+
+    bool nocstar =
+        kind == OrgKind::Nocstar || kind == OrgKind::NocstarIdeal;
+    bool monolithic = kind == OrgKind::MonolithicMesh ||
+                      kind == OrgKind::MonolithicSmart;
+    if (nocstar) {
+        if (nocstarSliceEntries == 0)
+            errors.push_back("nocstarSliceEntries must be >= 1");
+        else if (l2Assoc != 0 && nocstarSliceEntries % l2Assoc != 0)
+            errors.push_back(
+                strCat("nocstarSliceEntries (", nocstarSliceEntries,
+                       ") not a multiple of l2Assoc (", l2Assoc, ")"));
+        if (priorityEpoch == 0)
+            errors.push_back("priorityEpoch must be >= 1");
+    }
+    if ((nocstar || kind == OrgKind::MonolithicSmart) && hpcMax == 0)
+        errors.push_back("hpcMax must be >= 1");
+    if (monolithic) {
+        if (banks == 0)
+            errors.push_back("banks must be >= 1");
+        else if (banks > numCores)
+            errors.push_back(strCat("banks (", banks,
+                                    ") exceeds numCores (", numCores,
+                                    ")"));
+    }
+
+    if (isShared(kind) && numCores > 0) {
+        // Every interconnect model assumes the cores tile a full
+        // W x H mesh (power-of-two friendly; 24 = 8x3 is also fine).
+        noc::GridTopology topo = noc::GridTopology::forCores(numCores);
+        if (topo.numTiles() != numCores)
+            errors.push_back(
+                strCat("numCores (", numCores, ") does not tile a "
+                       "full mesh (nearest grid is ", topo.width(),
+                       "x", topo.height(), ")"));
+        for (std::string &e : faults.validate(topo.linkIndexSpace()))
+            errors.push_back("faults: " + e);
+    } else {
+        for (std::string &e : faults.validate())
+            errors.push_back("faults: " + e);
+    }
+    return errors;
+}
+
+std::string
+joinConfigErrors(const std::vector<std::string> &errors)
+{
+    std::string all;
+    for (const std::string &e : errors)
+        all += "\n  - " + e;
+    return all;
+}
+
 TlbOrganization::TlbOrganization(const std::string &name,
                                  const OrgConfig &config,
                                  OrgContext context,
@@ -67,9 +136,14 @@ TlbOrganization::TlbOrganization(const std::string &name,
       sliceConcurrency(this, "slice_concurrency",
                        "same-slice concurrent accesses at access start",
                        1, 513, 1),
+      sliceEccRewalks(this, "slice_ecc_rewalks",
+                      "hits discarded for ECC corruption"),
       config_(config), ctx_(std::move(context)),
       prefetcher_(config.prefetchDistance)
 {
+    if (config_.faults.sliceEccProb > 0)
+        eccFaults_ = std::make_unique<sim::FaultInjector>(
+            config_.faults, sim::FaultInjector::Stream::SliceEcc);
     if (!ctx_.queue || !ctx_.pageTable)
         fatal("organization '", name, "' missing queue or page table");
     if (ctx_.walkers.size() != config.numCores)

@@ -126,6 +126,14 @@ class TlbOrganization : public stats::StatGroup
     /** Total L2 TLB entries across the chip (for leakage). */
     virtual std::uint64_t totalEntries() const = 0;
 
+    /**
+     * Bring fault-accounting stats (per-link dead cycles, ...) current
+     * through @p now. Called before every epoch snapshot and at the
+     * end of the run; a no-op unless the organization carries fault
+     * machinery.
+     */
+    virtual void syncFaultStats(Cycle now) { (void)now; }
+
     const OrgConfig &config() const { return config_; }
 
     // Chip-wide statistics shared by all organizations.
@@ -142,6 +150,8 @@ class TlbOrganization : public stats::StatGroup
     stats::Distribution concurrency;
     /** Concurrent same-slice accesses at each access start (Fig 6). */
     stats::Distribution sliceConcurrency;
+    /** Hits discarded because the entry read back corrupt (ECC). */
+    stats::Scalar sliceEccRewalks;
 
     double
     l2MissRate() const
@@ -192,6 +202,17 @@ class TlbOrganization : public stats::StatGroup
                            const mem::Translation &t) const;
 
     /**
+     * Draw: did this L2/slice hit read a corrupt entry? Always false
+     * (and draws nothing) when the fault plan has no slice-ecc
+     * probability, so fault-free runs stay byte-identical.
+     */
+    bool
+    eccCorrupted()
+    {
+        return eccFaults_ && eccFaults_->sliceEcc();
+    }
+
+    /**
      * Record one slice/bank array lookup on the structured-trace
      * Slice lane (one track per slice). Free when recording is off.
      */
@@ -207,6 +228,8 @@ class TlbOrganization : public stats::StatGroup
     OrgConfig config_;
     OrgContext ctx_;
     tlb::TlbPrefetcher prefetcher_;
+    /** Allocated only when the plan injects slice ECC errors. */
+    std::unique_ptr<sim::FaultInjector> eccFaults_;
 
   private:
     struct PortState
@@ -219,6 +242,9 @@ class TlbOrganization : public stats::StatGroup
     std::vector<unsigned> sliceOutstanding_;
     std::vector<PortState> ports_;
 };
+
+/** Render a validate() error list one-per-line for a fatal() report. */
+std::string joinConfigErrors(const std::vector<std::string> &errors);
 
 /** Build the organization selected by @p config. */
 std::unique_ptr<TlbOrganization>

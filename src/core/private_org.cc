@@ -37,6 +37,15 @@ PrivateOrg::translate(CoreId core, ContextId ctx, Addr vaddr, Cycle now,
         ctx_.energy->addPrivateL2Lookup(config_.l2Entries);
 
     const tlb::TlbEntry *hit = array.lookupAnySize(ctx, vaddr);
+    if (hit && eccCorrupted()) {
+        // The entry read back corrupt: drop it and take the miss path.
+        ++sliceEccRewalks;
+        ContextId ectx = hit->ctx;
+        PageNum vpn = hit->vpn;
+        PageSize size = hit->size;
+        array.invalidate(ectx, vpn, size);
+        hit = nullptr;
+    }
     Cycle lookup_done = start + lookupLatency_;
 
     TRACE(TLB, "core ", core, " private L2 ", hit ? "hit" : "miss",

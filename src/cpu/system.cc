@@ -16,6 +16,41 @@
 namespace nocstar::cpu
 {
 
+std::vector<std::string>
+SystemConfig::validate() const
+{
+    std::vector<std::string> errors;
+    for (const std::string &e : org.validate())
+        errors.push_back("org: " + e);
+
+    if (apps.empty())
+        errors.push_back("needs at least one application");
+    std::uint64_t total_threads = 0;
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        if (apps[a].threads == 0)
+            errors.push_back(strCat("app #", a,
+                                    ": threads must be >= 1"));
+        total_threads += apps[a].threads;
+    }
+    std::uint64_t slots = static_cast<std::uint64_t>(org.numCores) *
+                          std::max(1u, smtPerCore);
+    if (org.numCores > 0 && total_threads > slots)
+        errors.push_back(strCat("total threads (", total_threads,
+                                ") exceed SMT slots (", slots, ")"));
+    if (hotspotFraction < 0.0 || hotspotFraction > 1.0)
+        errors.push_back(strCat("hotspotFraction ", hotspotFraction,
+                                " outside [0, 1]"));
+    if (hotspotSlice >= 0 &&
+        static_cast<unsigned>(hotspotSlice) >= org.numCores)
+        errors.push_back(strCat("hotspotSlice ", hotspotSlice,
+                                " beyond the last core (",
+                                org.numCores, " cores)"));
+    if (walker.eccRetryProb < 0.0 || walker.eccRetryProb > 1.0)
+        errors.push_back(strCat("walker.eccRetryProb ",
+                                walker.eccRetryProb, " outside [0, 1]"));
+    return errors;
+}
+
 System::System(const SystemConfig &config)
     : stats::StatGroup("system"),
       config_(config),
@@ -25,8 +60,10 @@ System::System(const SystemConfig &config)
       pollutionStalls_(this, "pollution_stalls",
                        "cycles charged for foreign PTE fills")
 {
-    if (config.apps.empty())
-        fatal("system needs at least one application");
+    if (std::vector<std::string> errors = config.validate();
+        !errors.empty())
+        fatal("invalid system config:",
+              core::joinConfigErrors(errors));
     unsigned cores = config.org.numCores;
 
     pageTable_ = std::make_unique<mem::PageTable>(0.0, config.seed);
@@ -53,10 +90,21 @@ System::System(const SystemConfig &config)
     org_ctx.queue = &queue_;
     org_ctx.pageTable = pageTable_.get();
     org_ctx.energy = &energy_;
+    mem::WalkerConfig walker_config = config.walker;
+    if (config.org.faults.walkEccProb > 0)
+        walker_config.eccRetryProb = config.org.faults.walkEccProb;
     for (CoreId c = 0; c < cores; ++c) {
+        // Distinct per-walker ECC stream, derived from the plan seed
+        // so a fixed (plan, seed) pair replays exactly.
+        walker_config.eccSeed =
+            config.org.faults.seed ^
+            (static_cast<std::uint64_t>(
+                 sim::FaultInjector::Stream::WalkEcc)
+             << 32) ^
+            (c * 0x9e3779b97f4a7c15ULL + 1);
         walkers_.push_back(std::make_unique<mem::PageTableWalker>(
             "walker" + std::to_string(c), c, *pageTable_, *caches_,
-            config.walker, this));
+            walker_config, this));
         org_ctx.walkers.push_back(walkers_.back().get());
         l1s_.push_back(std::make_unique<tlb::L1TlbGroup>(
             "l1_core" + std::to_string(c), config.l1, this));
@@ -312,6 +360,7 @@ System::installEpochEvent()
             TRACE(Stats, "epoch ", epochSnapshots_.size(),
                   " snapshot", config_.statsEpochReset
                                    ? " (and reset)" : "");
+            org_->syncFaultStats(queue_.curCycle());
             std::ostringstream os;
             os << "{\"epoch\":" << epochSnapshots_.size()
                << ",\"cycle\":" << queue_.curCycle() << ",\"stats\":";
@@ -467,6 +516,8 @@ System::run(std::uint64_t accesses_per_thread)
 
     queue_.run();
 
+    org_->syncFaultStats(queue_.curCycle());
+
     if (capture_)
         capture_->save(config_.captureTracePath);
 
@@ -533,10 +584,22 @@ System::run(std::uint64_t accesses_per_thread)
     result.energyPj = energy_.totalPj();
 
     if (auto *nocstar = dynamic_cast<core::NocstarOrg *>(org_.get())) {
-        result.fabricAvgLatency = nocstar->fabric().averageLatency();
-        result.fabricNoContention =
-            nocstar->fabric().noContentionFraction();
+        core::NocstarFabric &fabric = nocstar->fabric();
+        result.fabricAvgLatency = fabric.averageLatency();
+        result.fabricNoContention = fabric.noContentionFraction();
+        result.faultsInjected =
+            static_cast<std::uint64_t>(fabric.faultsInjected.value());
+        result.degradedMessages =
+            static_cast<std::uint64_t>(fabric.degradedMessages.value());
+        double messages = fabric.messagesSent.value();
+        result.degradedFraction = messages > 0
+            ? fabric.degradedMessages.value() / messages
+            : 0.0;
     }
+    double ecc_rewalks = org_->sliceEccRewalks.value();
+    for (const auto &walker : walkers_)
+        ecc_rewalks += walker->eccRewalks.value();
+    result.eccRewalks = static_cast<std::uint64_t>(ecc_rewalks);
 
     result.shootdowns =
         static_cast<std::uint64_t>(org_->shootdowns.value());

@@ -115,6 +115,13 @@ struct SystemConfig
      * JSON document, a sweep's file is JSONL.
      */
     std::string statsJsonPath;
+
+    /**
+     * Field-level configuration errors, one message per violation,
+     * including everything OrgConfig::validate() reports (prefixed
+     * "org: "). The System constructor fatal()s with the full list.
+     */
+    std::vector<std::string> validate() const;
 };
 
 /** Aggregated outcome of one simulation. */
@@ -152,6 +159,16 @@ struct RunResult
 
     std::uint64_t shootdowns = 0;
     double avgShootdownLatency = 0;
+
+    // Fault-injection outcomes (all zero without a fault plan).
+    /** Fabric outages begun + grants lost. */
+    std::uint64_t faultsInjected = 0;
+    /** Messages that fell back to the store-and-forward mesh. */
+    std::uint64_t degradedMessages = 0;
+    /** degradedMessages over all fabric messages. */
+    double degradedFraction = 0;
+    /** Hits retried for slice ECC + walks redone for table ECC. */
+    std::uint64_t eccRewalks = 0;
 
     /**
      * Fractions of L2 accesses in the paper's concurrency buckets:

@@ -39,7 +39,10 @@ PageTableWalker::PageTableWalker(const std::string &name, CoreId core,
       walks(this, "walks", "page table walks performed"),
       walkCycles(this, "walk_cycles", "cycles spent walking"),
       queueCycles(this, "queue_cycles", "cycles walks waited for walker"),
-      core_(core), table_(table), caches_(caches), config_(config)
+      eccRewalks(this, "ecc_rewalks",
+                 "walks redone for page-table ECC errors"),
+      core_(core), table_(table), caches_(caches), config_(config),
+      eccRng_(config.eccSeed)
 {
     for (auto &psc : psc_)
         psc.maxEntries = config.pscEntriesPerLevel;
@@ -89,6 +92,16 @@ PageTableWalker::walk(ContextId ctx, Addr vaddr, CoreId requester_core,
                 psc_[level].fill(psc_key, start + latency);
         }
         result.walkLatency = latency;
+    }
+
+    // Fault injection: a corrupt page-table read forces the whole walk
+    // to rerun. Approximated as a second back-to-back walk of the same
+    // cost (the PSCs and caches are now warm in reality, so this is a
+    // mild overstatement). Never draws when the probability is zero.
+    if (config_.eccRetryProb > 0 &&
+        eccRng_.chance(config_.eccRetryProb)) {
+        ++eccRewalks;
+        result.walkLatency *= 2;
     }
 
     busyUntil_ = start + result.walkLatency;

@@ -24,6 +24,7 @@
 #include "mem/cache_model.hh"
 #include "mem/page_table.hh"
 #include "sim/flat_map.hh"
+#include "sim/random.hh"
 #include "sim/stats.hh"
 
 namespace nocstar::mem
@@ -38,6 +39,14 @@ struct WalkerConfig
     std::uint32_t pscEntriesPerLevel = 32;
     /** Cycles per PSC-hit level (tag match, pipelined). */
     Cycle pscHitLatency = 1;
+    /**
+     * Fault injection: probability a completed walk read a corrupt
+     * (ECC) page-table line and must be redone from scratch. Zero
+     * (the default) never draws from the random stream.
+     */
+    double eccRetryProb = 0;
+    /** Seed for the ECC draw stream (distinct per walker). */
+    std::uint64_t eccSeed = 0;
 };
 
 /** Outcome of one page-table walk. */
@@ -84,6 +93,8 @@ class PageTableWalker : public stats::StatGroup
     stats::Scalar walks;
     stats::Scalar walkCycles;
     stats::Scalar queueCycles;
+    /** Walks redone because a page-table read hit an ECC error. */
+    stats::Scalar eccRewalks;
 
   private:
     /** Bounded per-level PSC: maps a VA prefix to presence. */
@@ -103,6 +114,8 @@ class PageTableWalker : public stats::StatGroup
     WalkerConfig config_;
     Cycle busyUntil_ = 0;
     Psc psc_[3]; ///< PML4 / PDPT / PD levels
+    /** ECC draw stream; consulted only when eccRetryProb > 0. */
+    Random eccRng_;
 };
 
 } // namespace nocstar::mem

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Fault-plan validation and text-format parsing.
+ */
+
+#include "sim/fault.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace nocstar::sim
+{
+
+namespace
+{
+
+bool
+parseU64(const std::string &tok, std::uint64_t &out)
+{
+    if (tok.empty() || tok[0] == '-')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+    if (end == tok.c_str() || *end != '\0' || errno == ERANGE)
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseProb(const std::string &tok, double &out)
+{
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(tok.c_str(), &end);
+    if (end == tok.c_str() || *end != '\0' || errno == ERANGE)
+        return false;
+    if (v < 0.0 || v > 1.0)
+        return false;
+    out = v;
+    return true;
+}
+
+/** Direction letter -> GridTopology direction index (E/W/N/S). */
+int
+directionIndex(const std::string &tok)
+{
+    if (tok == "E" || tok == "e") return 0;
+    if (tok == "W" || tok == "w") return 1;
+    if (tok == "N" || tok == "n") return 2;
+    if (tok == "S" || tok == "s") return 3;
+    return -1;
+}
+
+bool
+parseDuration(const std::string &tok, Cycle &out)
+{
+    if (tok == "permanent") {
+        out = 0;
+        return true;
+    }
+    std::uint64_t v = 0;
+    if (!parseU64(tok, v) || v == 0)
+        return false;
+    out = v;
+    return true;
+}
+
+} // namespace
+
+std::vector<std::string>
+FaultPlan::validate(unsigned link_index_space) const
+{
+    std::vector<std::string> errors;
+    auto prob = [&errors](double p, const char *what) {
+        if (p < 0.0 || p > 1.0)
+            errors.push_back(strCat(what, " probability ", p,
+                                    " outside [0, 1]"));
+    };
+    prob(grantLossProb, "grant-loss");
+    prob(sliceEccProb, "slice-ecc");
+    prob(walkEccProb, "walk-ecc");
+
+    for (std::size_t i = 0; i < linkFaults.size(); ++i) {
+        const LinkFaultSpec &f = linkFaults[i];
+        if (link_index_space && f.link >= link_index_space)
+            errors.push_back(strCat("link fault #", i, ": link id ",
+                                    f.link, " beyond the mesh (",
+                                    link_index_space, " links)"));
+    }
+
+    if (!empty()) {
+        if (retryBudget == 0)
+            errors.push_back("retry-budget must be >= 1");
+        if (backoffCap == 0)
+            errors.push_back("backoff-cap must be >= 1");
+    }
+    return errors;
+}
+
+FaultPlan
+FaultPlan::parse(std::istream &in, const std::string &origin)
+{
+    FaultPlan plan;
+    std::vector<std::string> errors;
+    std::string line;
+    unsigned lineno = 0;
+
+    auto bad = [&errors, &origin, &lineno](const std::string &why) {
+        errors.push_back(strCat(origin, ":", lineno, ": ", why));
+    };
+
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (std::size_t hash = line.find('#'); hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream tokens(line);
+        std::string word;
+        if (!(tokens >> word))
+            continue; // blank / comment-only line
+
+        std::vector<std::string> args;
+        std::string tok;
+        while (tokens >> tok)
+            args.push_back(tok);
+
+        std::uint64_t v = 0;
+        if (word == "seed") {
+            if (args.size() != 1 || !parseU64(args[0], v))
+                bad("seed needs one non-negative integer");
+            else
+                plan.seed = v;
+        } else if (word == "link") {
+            LinkFaultSpec f;
+            int dir = args.size() >= 2 ? directionIndex(args[1]) : -1;
+            std::uint64_t tile = 0;
+            if (args.size() != 4 || !parseU64(args[0], tile) ||
+                dir < 0 || !parseU64(args[2], f.start) ||
+                !parseDuration(args[3], f.duration)) {
+                bad("link needs: TILE E|W|N|S START "
+                    "DURATION|permanent");
+            } else {
+                f.link = static_cast<std::uint32_t>(tile * 4 +
+                                                    dir);
+                plan.linkFaults.push_back(f);
+            }
+        } else if (word == "link-id") {
+            LinkFaultSpec f;
+            std::uint64_t id = 0;
+            if (args.size() != 3 || !parseU64(args[0], id) ||
+                !parseU64(args[1], f.start) ||
+                !parseDuration(args[2], f.duration)) {
+                bad("link-id needs: FLAT START DURATION|permanent");
+            } else {
+                f.link = static_cast<std::uint32_t>(id);
+                plan.linkFaults.push_back(f);
+            }
+        } else if (word == "grant-loss") {
+            if (args.size() != 1 ||
+                !parseProb(args[0], plan.grantLossProb))
+                bad("grant-loss needs one probability in [0, 1]");
+        } else if (word == "slice-ecc") {
+            if (args.size() != 1 ||
+                !parseProb(args[0], plan.sliceEccProb))
+                bad("slice-ecc needs one probability in [0, 1]");
+        } else if (word == "walk-ecc") {
+            if (args.size() != 1 ||
+                !parseProb(args[0], plan.walkEccProb))
+                bad("walk-ecc needs one probability in [0, 1]");
+        } else if (word == "retry-budget") {
+            if (args.size() != 1 || !parseU64(args[0], v) || v == 0)
+                bad("retry-budget needs one positive integer");
+            else
+                plan.retryBudget = static_cast<unsigned>(v);
+        } else if (word == "backoff-cap") {
+            if (args.size() != 1 || !parseU64(args[0], v) || v == 0)
+                bad("backoff-cap needs one positive integer");
+            else
+                plan.backoffCap = v;
+        } else if (word == "watchdog") {
+            bool is_fatal = args.size() == 2 && args[1] == "fatal";
+            if ((args.size() != 1 && !is_fatal) ||
+                !parseU64(args[0], v)) {
+                bad("watchdog needs: CYCLES [fatal]");
+            } else {
+                plan.watchdogCycles = v;
+                plan.watchdogFatal = is_fatal;
+            }
+        } else {
+            bad(strCat("unknown directive '", word, "'"));
+        }
+    }
+
+    for (const std::string &e : plan.validate())
+        errors.push_back(strCat(origin, ": ", e));
+
+    if (!errors.empty()) {
+        std::string all;
+        for (const std::string &e : errors)
+            all += "\n  " + e;
+        fatal("invalid fault plan:", all);
+    }
+    return plan;
+}
+
+FaultPlan
+FaultPlan::parseFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open fault plan '", path, "'");
+    return parse(in, path);
+}
+
+} // namespace nocstar::sim

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * The bench command-line parser: typed stores, --opt value and
+ * --opt=value spellings, flags, optional-value options, positionals,
+ * error collection (unknown options, garbage values, missing required
+ * arguments) and usage generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "bench/arg_parser.hh"
+
+using namespace nocstar::bench;
+
+namespace
+{
+
+/** argv builder: parse() wants a mutable char** shaped like main's. */
+struct Argv
+{
+    std::vector<std::string> storage;
+    std::vector<char *> ptrs;
+
+    explicit Argv(std::initializer_list<const char *> args)
+    {
+        storage.emplace_back("prog");
+        for (const char *a : args)
+            storage.emplace_back(a);
+        for (std::string &s : storage)
+            ptrs.push_back(s.data());
+    }
+
+    int argc() const { return static_cast<int>(ptrs.size()); }
+    char **argv() { return ptrs.data(); }
+};
+
+} // namespace
+
+TEST(ParseUnsigned, AcceptsNumbersRejectsGarbage)
+{
+    std::uint64_t v = 0;
+    EXPECT_TRUE(parseUnsigned("12345", v));
+    EXPECT_EQ(v, 12345u);
+    EXPECT_TRUE(parseUnsigned("0", v));
+    EXPECT_FALSE(parseUnsigned("", v));
+    EXPECT_FALSE(parseUnsigned("12abc", v));
+    EXPECT_FALSE(parseUnsigned("abc", v));
+    EXPECT_FALSE(parseUnsigned("-5", v));
+    EXPECT_FALSE(parseUnsigned("99999999999999999999999", v));
+}
+
+TEST(ParseDouble, AcceptsNumbersRejectsGarbage)
+{
+    double v = 0;
+    EXPECT_TRUE(parseDouble("0.25", v));
+    EXPECT_DOUBLE_EQ(v, 0.25);
+    EXPECT_TRUE(parseDouble("-1.5", v));
+    EXPECT_FALSE(parseDouble("", v));
+    EXPECT_FALSE(parseDouble("1.5x", v));
+    EXPECT_FALSE(parseDouble("x", v));
+}
+
+TEST(ArgParser, BothOptionSpellingsWork)
+{
+    std::uint64_t n = 0;
+    double x = 0;
+    std::string s;
+    ArgParser parser("t", "");
+    parser.option("num", &n, "").option("rate", &x, "")
+        .option("file", &s, "");
+    Argv a{"--num", "7", "--rate=0.5", "--file", "out.json"};
+    EXPECT_TRUE(parser.parse(a.argc(), a.argv()));
+    EXPECT_EQ(n, 7u);
+    EXPECT_DOUBLE_EQ(x, 0.5);
+    EXPECT_EQ(s, "out.json");
+    EXPECT_TRUE(parser.seen("num"));
+    EXPECT_FALSE(parser.seen("nope"));
+}
+
+TEST(ArgParser, FlagsAndOptionalValues)
+{
+    bool flag = false;
+    bool bare = false;
+    std::string value;
+    ArgParser parser("t", "");
+    parser.flag("verbose", &flag, "");
+    parser.optionalValue(
+        "trace", [&bare] { bare = true; },
+        [&value](const std::string &v) {
+            value = v;
+            return true;
+        },
+        "");
+    Argv a{"--verbose", "--trace"};
+    EXPECT_TRUE(parser.parse(a.argc(), a.argv()));
+    EXPECT_TRUE(flag);
+    EXPECT_TRUE(bare);
+    EXPECT_TRUE(value.empty());
+
+    ArgParser parser2("t", "");
+    parser2.optionalValue(
+        "trace", [] {},
+        [&value](const std::string &v) {
+            value = v;
+            return true;
+        },
+        "");
+    Argv b{"--trace=fabric,walk"};
+    EXPECT_TRUE(parser2.parse(b.argc(), b.argv()));
+    EXPECT_EQ(value, "fabric,walk");
+}
+
+TEST(ArgParser, OptionalValueNeverEatsNextArgument)
+{
+    bool bare = false;
+    std::uint64_t pos = 0;
+    ArgParser parser("t", "");
+    parser.optionalValue(
+        "trace", [&bare] { bare = true; },
+        [](const std::string &) { return true; }, "");
+    parser.positional("N", &pos, "");
+    Argv a{"--trace", "42"};
+    EXPECT_TRUE(parser.parse(a.argc(), a.argv()));
+    EXPECT_TRUE(bare);
+    EXPECT_EQ(pos, 42u); // went to the positional, not --trace
+}
+
+TEST(ArgParser, PositionalsFillInOrder)
+{
+    std::string name;
+    std::uint64_t count = 99;
+    ArgParser parser("t", "");
+    parser.positional("NAME", &name, "");
+    parser.positional("COUNT", &count, "");
+    Argv a{"gups", "123"};
+    EXPECT_TRUE(parser.parse(a.argc(), a.argv()));
+    EXPECT_EQ(name, "gups");
+    EXPECT_EQ(count, 123u);
+
+    // Absent optional positionals keep their defaults.
+    std::uint64_t untouched = 7;
+    ArgParser parser2("t", "");
+    parser2.positional("N", &untouched, "");
+    Argv b{};
+    EXPECT_TRUE(parser2.parse(b.argc(), b.argv()));
+    EXPECT_EQ(untouched, 7u);
+}
+
+TEST(ArgParser, CollectsEveryError)
+{
+    std::uint64_t n = 0;
+    ArgParser parser("t", "");
+    parser.option("num", &n, "");
+    Argv a{"--num", "abc", "--bogus", "extra", "-x"};
+    EXPECT_FALSE(parser.parse(a.argc(), a.argv()));
+    ASSERT_EQ(parser.errors().size(), 4u);
+    EXPECT_NE(parser.errors()[0].find("invalid value 'abc'"),
+              std::string::npos);
+    EXPECT_NE(parser.errors()[1].find("unknown option --bogus"),
+              std::string::npos);
+    EXPECT_NE(parser.errors()[2].find("unexpected argument 'extra'"),
+              std::string::npos);
+    EXPECT_NE(parser.errors()[3].find("unknown option -x"),
+              std::string::npos);
+}
+
+TEST(ArgParser, MissingValueAndRequiredPositional)
+{
+    std::uint64_t n = 0;
+    std::string req;
+    ArgParser parser("t", "");
+    parser.option("num", &n, "");
+    parser.positional("REQ", &req, "", /*required=*/true);
+    Argv a{"--num"};
+    EXPECT_FALSE(parser.parse(a.argc(), a.argv()));
+    ASSERT_EQ(parser.errors().size(), 2u);
+    EXPECT_NE(parser.errors()[0].find("--num needs a value"),
+              std::string::npos);
+    EXPECT_NE(parser.errors()[1].find("missing required argument REQ"),
+              std::string::npos);
+}
+
+TEST(ArgParser, UnsignedOptionRejectsOverflowAndNegatives)
+{
+    unsigned n = 1;
+    ArgParser parser("t", "");
+    parser.option("num", &n, "");
+    Argv a{"--num=4294967296"}; // 2^32: too wide for unsigned
+    EXPECT_FALSE(parser.parse(a.argc(), a.argv()));
+
+    unsigned m = 1;
+    ArgParser parser2("t", "");
+    parser2.option("num", &m, "");
+    Argv b{"--num=-3"};
+    EXPECT_FALSE(parser2.parse(b.argc(), b.argv()));
+    EXPECT_EQ(m, 1u);
+}
+
+TEST(ArgParser, CustomStoreValidates)
+{
+    std::string mode;
+    ArgParser parser("t", "");
+    parser.option(
+        "mode",
+        [&mode](const std::string &v) {
+            if (v != "fast" && v != "slow")
+                return false;
+            mode = v;
+            return true;
+        },
+        "");
+    Argv bad{"--mode=medium"};
+    EXPECT_FALSE(parser.parse(bad.argc(), bad.argv()));
+
+    ArgParser parser2("t", "");
+    parser2.option(
+        "mode",
+        [&mode](const std::string &v) {
+            if (v != "fast" && v != "slow")
+                return false;
+            mode = v;
+            return true;
+        },
+        "");
+    Argv good{"--mode=fast"};
+    EXPECT_TRUE(parser2.parse(good.argc(), good.argv()));
+    EXPECT_EQ(mode, "fast");
+}
+
+TEST(ArgParser, HelpIsDetectedAndUsageListsEverything)
+{
+    std::uint64_t n = 0;
+    bool f = false;
+    ArgParser parser("mybench", "does things");
+    parser.positional("ACCESSES", &n, "accesses per thread");
+    parser.option("jobs", &n, "worker count");
+    parser.flag("fast", &f, "skip the slow part");
+    Argv a{"--help"};
+    EXPECT_TRUE(parser.parse(a.argc(), a.argv()));
+    EXPECT_TRUE(parser.helpRequested());
+
+    std::ostringstream usage;
+    parser.printUsage(usage);
+    std::string text = usage.str();
+    EXPECT_NE(text.find("usage: mybench [options] [ACCESSES]"),
+              std::string::npos);
+    EXPECT_NE(text.find("does things"), std::string::npos);
+    EXPECT_NE(text.find("--jobs N"), std::string::npos);
+    EXPECT_NE(text.find("--fast"), std::string::npos);
+    EXPECT_NE(text.find("accesses per thread"), std::string::npos);
+    EXPECT_NE(text.find("--help"), std::string::npos);
+}
+
+TEST(ArgParser, FlagRejectsAttachedValue)
+{
+    bool f = false;
+    ArgParser parser("t", "");
+    parser.flag("fast", &f, "");
+    Argv a{"--fast=1"};
+    EXPECT_FALSE(parser.parse(a.argc(), a.argv()));
+    EXPECT_FALSE(f);
+}

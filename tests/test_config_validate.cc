@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Structured configuration validation: OrgConfig::validate() and
+ * SystemConfig::validate() return one message per violation, the
+ * factory and the System constructor reject invalid configurations
+ * with the full list, and valid configurations pass untouched.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/organization.hh"
+#include "cpu/system.hh"
+
+using namespace nocstar;
+using namespace nocstar::core;
+
+namespace
+{
+
+cpu::SystemConfig
+validSystemConfig(unsigned cores = 16)
+{
+    cpu::SystemConfig config;
+    config.org.kind = OrgKind::Nocstar;
+    config.org.numCores = cores;
+    config.org.banks = 4;
+    cpu::AppConfig app;
+    app.spec = workload::findWorkload("gups");
+    app.threads = cores;
+    config.apps.push_back(app);
+    return config;
+}
+
+bool
+mentions(const std::vector<std::string> &errors,
+         const std::string &needle)
+{
+    for (const std::string &e : errors)
+        if (e.find(needle) != std::string::npos)
+            return true;
+    return false;
+}
+
+} // namespace
+
+TEST(OrgValidate, DefaultConfigsAreValid)
+{
+    for (OrgKind kind :
+         {OrgKind::Private, OrgKind::MonolithicMesh,
+          OrgKind::MonolithicSmart, OrgKind::Distributed,
+          OrgKind::IdealShared, OrgKind::Nocstar,
+          OrgKind::NocstarIdeal}) {
+        OrgConfig config;
+        config.kind = kind;
+        config.numCores = 16;
+        EXPECT_TRUE(config.validate().empty())
+            << orgKindName(kind) << ": "
+            << joinConfigErrors(config.validate());
+    }
+}
+
+TEST(OrgValidate, ReportsEveryViolationAtOnce)
+{
+    OrgConfig config;
+    config.kind = OrgKind::Nocstar;
+    config.numCores = 0;
+    config.l2Entries = 0;
+    config.readPortsPerCycle = 0;
+    config.nocstarSliceEntries = 0;
+    std::vector<std::string> errors = config.validate();
+    EXPECT_TRUE(mentions(errors, "numCores"));
+    EXPECT_TRUE(mentions(errors, "l2Entries"));
+    EXPECT_TRUE(mentions(errors, "readPortsPerCycle"));
+    EXPECT_TRUE(mentions(errors, "nocstarSliceEntries"));
+    EXPECT_GE(errors.size(), 4u);
+}
+
+TEST(OrgValidate, CatchesEntriesNotMultipleOfAssoc)
+{
+    OrgConfig config;
+    config.kind = OrgKind::Private;
+    config.numCores = 4;
+    config.l2Entries = 1000;
+    config.l2Assoc = 16; // 1000 % 16 != 0
+    EXPECT_TRUE(mentions(config.validate(), "not a multiple"));
+}
+
+TEST(OrgValidate, CatchesNonTilingCoreCount)
+{
+    OrgConfig config;
+    config.kind = OrgKind::Nocstar;
+    config.numCores = 13; // no full WxH mesh
+    EXPECT_TRUE(mentions(config.validate(), "does not tile"));
+}
+
+TEST(OrgValidate, CatchesBankOverflow)
+{
+    OrgConfig config;
+    config.kind = OrgKind::MonolithicMesh;
+    config.numCores = 4;
+    config.banks = 8;
+    EXPECT_TRUE(mentions(config.validate(), "banks"));
+}
+
+TEST(OrgValidate, ChecksFaultPlanAgainstTopology)
+{
+    OrgConfig config;
+    config.kind = OrgKind::Nocstar;
+    config.numCores = 16; // 4x4: link ids < 64
+    config.faults.linkFaults.push_back({200, 0, 0});
+    EXPECT_TRUE(mentions(config.validate(), "faults:"));
+
+    config.faults.linkFaults.clear();
+    config.faults.grantLossProb = 1.5;
+    EXPECT_TRUE(mentions(config.validate(), "faults:"));
+}
+
+TEST(OrgValidate, FactoryRejectsInvalidConfig)
+{
+    OrgConfig config;
+    config.kind = OrgKind::Nocstar;
+    config.numCores = 0;
+    EventQueue queue;
+    stats::StatGroup root("root");
+    OrgContext context;
+    context.queue = &queue;
+    // Validation runs before any member is touched.
+    EXPECT_THROW(makeOrganization(config, std::move(context), &root),
+                 FatalError);
+}
+
+TEST(SystemValidate, ValidConfigPasses)
+{
+    EXPECT_TRUE(validSystemConfig().validate().empty());
+}
+
+TEST(SystemValidate, RequiresApps)
+{
+    cpu::SystemConfig config = validSystemConfig();
+    config.apps.clear();
+    EXPECT_TRUE(mentions(config.validate(), "at least one application"));
+}
+
+TEST(SystemValidate, OrgErrorsArePrefixed)
+{
+    cpu::SystemConfig config = validSystemConfig();
+    config.org.l2Entries = 0;
+    EXPECT_TRUE(mentions(config.validate(), "org: "));
+}
+
+TEST(SystemValidate, CatchesThreadOversubscription)
+{
+    cpu::SystemConfig config = validSystemConfig(16);
+    config.apps[0].threads = 99;
+    EXPECT_FALSE(config.validate().empty());
+
+    // SMT widens the budget.
+    config.apps[0].threads = 32;
+    config.smtPerCore = 2;
+    EXPECT_TRUE(config.validate().empty());
+}
+
+TEST(SystemValidate, CatchesZeroThreadApp)
+{
+    cpu::SystemConfig config = validSystemConfig();
+    config.apps[0].threads = 0;
+    EXPECT_FALSE(config.validate().empty());
+}
+
+TEST(SystemValidate, CatchesBadHotspotAndEccSettings)
+{
+    cpu::SystemConfig config = validSystemConfig(16);
+    config.hotspotSlice = 16; // slices are 0..15
+    EXPECT_TRUE(mentions(config.validate(), "hotspotSlice"));
+
+    config = validSystemConfig(16);
+    config.hotspotSlice = 3;
+    config.hotspotFraction = 1.5;
+    EXPECT_TRUE(mentions(config.validate(), "hotspotFraction"));
+
+    config = validSystemConfig(16);
+    config.walker.eccRetryProb = 2.0;
+    EXPECT_FALSE(config.validate().empty());
+}
+
+TEST(SystemValidate, ConstructorRejectsWithFullList)
+{
+    cpu::SystemConfig config = validSystemConfig();
+    config.org.l2Entries = 0;
+    config.apps[0].threads = 0;
+    try {
+        cpu::System system(config);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &err) {
+        std::string what = err.what();
+        EXPECT_NE(what.find("l2Entries"), std::string::npos);
+        EXPECT_NE(what.find("threads"), std::string::npos);
+    }
+}

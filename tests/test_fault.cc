@@ -1,0 +1,407 @@
+/**
+ * @file
+ * Fault-injection subsystem: plan parsing and validation, seeded
+ * injector determinism, fabric outages (route-around, mesh fallback,
+ * retry budget, backoff cap, watchdog) and end-to-end reproducibility
+ * of faulted full-system runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/fabric.hh"
+#include "cpu/system.hh"
+#include "sim/fault.hh"
+
+using namespace nocstar;
+using namespace nocstar::core;
+
+namespace
+{
+
+struct FabricHarness
+{
+    EventQueue queue;
+    stats::StatGroup root{"root"};
+    noc::GridTopology topo;
+    NocstarFabric fabric;
+
+    explicit FabricHarness(unsigned cores = 16, FabricConfig cfg = {})
+        : topo(noc::GridTopology::forCores(cores)),
+          fabric("fabric", queue, topo, cfg, &root)
+    {}
+};
+
+sim::FaultPlan
+planFromString(const std::string &text)
+{
+    std::istringstream in(text);
+    return sim::FaultPlan::parse(in, "test");
+}
+
+cpu::SystemConfig
+faultedSystemConfig(const sim::FaultPlan &plan)
+{
+    cpu::SystemConfig config;
+    config.org.kind = OrgKind::Nocstar;
+    config.org.numCores = 16;
+    config.org.banks = 4;
+    config.org.faults = plan;
+    cpu::AppConfig app;
+    app.spec = workload::findWorkload("gups");
+    app.threads = 16;
+    config.apps.push_back(app);
+    return config;
+}
+
+} // namespace
+
+TEST(FaultPlan, ParsesEveryDirective)
+{
+    sim::FaultPlan plan = planFromString(
+        "# comment\n"
+        "seed 42\n"
+        "link 1 E 100 permanent\n"
+        "link-id 9 200 50   # transient\n"
+        "grant-loss 0.25\n"
+        "slice-ecc 0.5\n"
+        "walk-ecc 0.125\n"
+        "retry-budget 7\n"
+        "backoff-cap 16\n"
+        "watchdog 5000 fatal\n");
+    EXPECT_EQ(plan.seed, 42u);
+    ASSERT_EQ(plan.linkFaults.size(), 2u);
+    EXPECT_EQ(plan.linkFaults[0].link, 1u * 4 + 0);
+    EXPECT_EQ(plan.linkFaults[0].start, 100u);
+    EXPECT_TRUE(plan.linkFaults[0].permanent());
+    EXPECT_EQ(plan.linkFaults[1].link, 9u);
+    EXPECT_EQ(plan.linkFaults[1].end(), 250u);
+    EXPECT_DOUBLE_EQ(plan.grantLossProb, 0.25);
+    EXPECT_DOUBLE_EQ(plan.sliceEccProb, 0.5);
+    EXPECT_DOUBLE_EQ(plan.walkEccProb, 0.125);
+    EXPECT_EQ(plan.retryBudget, 7u);
+    EXPECT_EQ(plan.backoffCap, 16u);
+    EXPECT_EQ(plan.watchdogCycles, 5000u);
+    EXPECT_TRUE(plan.watchdogFatal);
+    EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultPlan, RejectsGarbageListingEveryError)
+{
+    try {
+        planFromString("grant-loss 1.5\n"
+                       "link 3 Q 0 permanent\n"
+                       "retry-budget zero\n");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &err) {
+        std::string what = err.what();
+        EXPECT_NE(what.find("grant-loss"), std::string::npos);
+        EXPECT_NE(what.find("test:2"), std::string::npos);
+        EXPECT_NE(what.find("retry-budget"), std::string::npos);
+    }
+}
+
+TEST(FaultPlan, ValidateCatchesOutOfRangeLink)
+{
+    sim::FaultPlan plan;
+    plan.linkFaults.push_back({9999, 0, 0});
+    EXPECT_TRUE(plan.validate().empty()); // space unknown: no check
+    EXPECT_FALSE(plan.validate(64).empty());
+}
+
+TEST(FaultPlan, EmptyPlanIsEmpty)
+{
+    sim::FaultPlan plan;
+    EXPECT_TRUE(plan.empty());
+    plan.grantLossProb = 0.1;
+    EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultInjector, SameSeedSameSequence)
+{
+    sim::FaultPlan plan;
+    plan.grantLossProb = 0.3;
+    plan.seed = 99;
+    sim::FaultInjector a(plan, sim::FaultInjector::Stream::Fabric);
+    sim::FaultInjector b(plan, sim::FaultInjector::Stream::Fabric);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.loseGrant(), b.loseGrant());
+}
+
+TEST(FaultInjector, StreamsAreIndependent)
+{
+    sim::FaultPlan plan;
+    plan.grantLossProb = 0.5;
+    plan.sliceEccProb = 0.5;
+    plan.seed = 7;
+    sim::FaultInjector fabric(plan,
+                              sim::FaultInjector::Stream::Fabric);
+    sim::FaultInjector ecc(plan,
+                           sim::FaultInjector::Stream::SliceEcc);
+    bool differ = false;
+    for (int i = 0; i < 64; ++i)
+        differ |= fabric.loseGrant() != ecc.sliceEcc();
+    EXPECT_TRUE(differ);
+}
+
+TEST(FaultInjector, ZeroProbabilityNeverFires)
+{
+    sim::FaultPlan plan; // all probabilities zero
+    sim::FaultInjector inj(plan, sim::FaultInjector::Stream::Fabric);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(inj.loseGrant());
+        EXPECT_FALSE(inj.sliceEcc());
+        EXPECT_FALSE(inj.walkEcc());
+    }
+}
+
+TEST(FaultFabric, RejectsPlanWithOutOfRangeLink)
+{
+    sim::FaultPlan plan;
+    plan.linkFaults.push_back({9999, 0, 0});
+    FabricConfig cfg;
+    cfg.faults = &plan;
+    EXPECT_THROW(FabricHarness(16, cfg), FatalError);
+}
+
+TEST(FaultFabric, RoutesAroundDeadLink)
+{
+    // Kill tile 1's East output: the 1 -> 2 xy path's only link.
+    sim::FaultPlan plan;
+    plan.linkFaults.push_back(
+        {noc::LinkId{1, noc::Direction::East}.flatten(), 0, 0});
+    FabricConfig cfg;
+    cfg.faults = &plan;
+    FabricHarness h(16, cfg);
+
+    Cycle delivered = invalidCycle;
+    h.fabric.send(1, 2, 5, [&](Cycle at) { delivered = at; });
+    h.queue.run();
+
+    EXPECT_NE(delivered, invalidCycle);
+    // The dead link was never granted; the detour stayed on-fabric.
+    unsigned dead = noc::LinkId{1, noc::Direction::East}.flatten();
+    EXPECT_DOUBLE_EQ(h.fabric.linkGrants[dead], 0.0);
+    EXPECT_DOUBLE_EQ(h.fabric.degradedMessages.value(), 0.0);
+    EXPECT_DOUBLE_EQ(h.fabric.faultsInjected.value(), 1.0);
+}
+
+TEST(FaultFabric, IsolatedSourceFallsBackToMesh)
+{
+    // All four outputs of tile 5 die: no circuit path from 5 exists,
+    // so its messages must take the store-and-forward mesh.
+    sim::FaultPlan plan;
+    for (auto dir : {noc::Direction::East, noc::Direction::West,
+                     noc::Direction::North, noc::Direction::South})
+        plan.linkFaults.push_back(
+            {noc::LinkId{5, dir}.flatten(), 0, 0});
+    FabricConfig cfg;
+    cfg.faults = &plan;
+    FabricHarness h(16, cfg);
+
+    Cycle delivered = invalidCycle;
+    h.fabric.send(5, 6, 10, [&](Cycle at) { delivered = at; });
+    h.queue.run();
+
+    EXPECT_NE(delivered, invalidCycle);
+    EXPECT_GT(delivered, 10u);
+    EXPECT_DOUBLE_EQ(h.fabric.degradedMessages.value(), 1.0);
+}
+
+TEST(FaultFabric, TransientOutageDelaysUntilRepair)
+{
+    // Tile 1's East output is out for cycles [0, 100); the message
+    // retries with exponential backoff and succeeds after repair.
+    sim::FaultPlan plan;
+    plan.linkFaults.push_back(
+        {noc::LinkId{1, noc::Direction::East}.flatten(), 0, 100});
+    FabricConfig cfg;
+    cfg.faults = &plan;
+    FabricHarness h(16, cfg);
+
+    Cycle delivered = invalidCycle;
+    h.fabric.send(1, 2, 5, [&](Cycle at) { delivered = at; });
+    h.queue.run();
+
+    EXPECT_NE(delivered, invalidCycle);
+    EXPECT_GE(delivered, 100u);
+    EXPECT_GT(h.fabric.backoffCycles.value(), 0.0);
+    EXPECT_DOUBLE_EQ(h.fabric.degradedMessages.value(), 0.0);
+}
+
+TEST(FaultFabric, BackoffCapBoundsRetrySpacing)
+{
+    sim::FaultPlan plan;
+    plan.linkFaults.push_back(
+        {noc::LinkId{1, noc::Direction::East}.flatten(), 0, 200});
+    plan.backoffCap = 4;
+    plan.retryBudget = 1000;
+    FabricConfig cfg;
+    cfg.faults = &plan;
+    FabricHarness h(16, cfg);
+
+    Cycle delivered = invalidCycle;
+    h.fabric.send(1, 2, 5, [&](Cycle at) { delivered = at; });
+    h.queue.run();
+
+    // Retries arrive at most backoffCap apart, so delivery lands
+    // within one cap of the repair (plus traversal).
+    EXPECT_GE(delivered, 200u);
+    EXPECT_LE(delivered, 200u + plan.backoffCap + 2);
+}
+
+TEST(FaultFabric, RetryBudgetExhaustionDegrades)
+{
+    sim::FaultPlan plan;
+    plan.linkFaults.push_back(
+        {noc::LinkId{1, noc::Direction::East}.flatten(), 0, 10000});
+    plan.retryBudget = 3;
+    FabricConfig cfg;
+    cfg.faults = &plan;
+    FabricHarness h(16, cfg);
+
+    Cycle delivered = invalidCycle;
+    h.fabric.send(1, 2, 5, [&](Cycle at) { delivered = at; });
+    h.queue.run();
+
+    EXPECT_NE(delivered, invalidCycle);
+    EXPECT_LT(delivered, 10000u); // did not wait out the outage
+    EXPECT_DOUBLE_EQ(h.fabric.degradedMessages.value(), 1.0);
+}
+
+TEST(FaultFabric, WatchdogRescuesStuckMessage)
+{
+    sim::FaultPlan plan;
+    plan.linkFaults.push_back(
+        {noc::LinkId{1, noc::Direction::East}.flatten(), 0, 10000});
+    plan.retryBudget = 1000000;
+    plan.watchdogCycles = 50;
+    FabricConfig cfg;
+    cfg.faults = &plan;
+    FabricHarness h(16, cfg);
+
+    Cycle delivered = invalidCycle;
+    h.fabric.send(1, 2, 5, [&](Cycle at) { delivered = at; });
+    h.queue.run();
+
+    EXPECT_NE(delivered, invalidCycle);
+    EXPECT_DOUBLE_EQ(h.fabric.watchdogTrips.value(), 1.0);
+    EXPECT_DOUBLE_EQ(h.fabric.degradedMessages.value(), 1.0);
+}
+
+TEST(FaultFabric, FatalWatchdogThrows)
+{
+    sim::FaultPlan plan;
+    plan.linkFaults.push_back(
+        {noc::LinkId{1, noc::Direction::East}.flatten(), 0, 10000});
+    plan.retryBudget = 1000000;
+    plan.watchdogCycles = 50;
+    plan.watchdogFatal = true;
+    FabricConfig cfg;
+    cfg.faults = &plan;
+    FabricHarness h(16, cfg);
+
+    h.fabric.send(1, 2, 5, [](Cycle) {});
+    EXPECT_THROW(h.queue.run(), FatalError);
+}
+
+TEST(FaultFabric, GrantLossInjectsAndRetries)
+{
+    sim::FaultPlan plan;
+    plan.grantLossProb = 1.0;
+    plan.retryBudget = 2;
+    FabricConfig cfg;
+    cfg.faults = &plan;
+    FabricHarness h(16, cfg);
+
+    Cycle delivered = invalidCycle;
+    h.fabric.send(0, 3, 5, [&](Cycle at) { delivered = at; });
+    h.queue.run();
+
+    EXPECT_NE(delivered, invalidCycle);
+    EXPECT_GE(h.fabric.faultsInjected.value(), 3.0); // every grant lost
+    EXPECT_DOUBLE_EQ(h.fabric.degradedMessages.value(), 1.0);
+}
+
+TEST(FaultFabric, LinkDeadCyclesAccountsOutageWindows)
+{
+    sim::FaultPlan plan;
+    unsigned dead = noc::LinkId{1, noc::Direction::East}.flatten();
+    plan.linkFaults.push_back({dead, 10, 40}); // [10, 50)
+    FabricConfig cfg;
+    cfg.faults = &plan;
+    FabricHarness h(16, cfg);
+    h.queue.run();
+
+    h.fabric.syncFaultStats(100);
+    EXPECT_DOUBLE_EQ(h.fabric.linkDeadCycles[dead], 40.0);
+    // Second sync past the window adds nothing.
+    h.fabric.syncFaultStats(200);
+    EXPECT_DOUBLE_EQ(h.fabric.linkDeadCycles[dead], 40.0);
+}
+
+TEST(FaultSystem, FaultedRunsAreReproducible)
+{
+    sim::FaultPlan plan = planFromString(
+        "link 5 E 0 permanent\n"
+        "link 5 W 0 permanent\n"
+        "link 5 N 0 permanent\n"
+        "link 5 S 0 permanent\n"
+        "grant-loss 0.01\n"
+        "slice-ecc 0.002\n"
+        "walk-ecc 0.002\n"
+        "seed 7\n");
+
+    cpu::RunResult first, second;
+    {
+        cpu::System system(faultedSystemConfig(plan));
+        first = system.run(800);
+    }
+    {
+        cpu::System system(faultedSystemConfig(plan));
+        second = system.run(800);
+    }
+    EXPECT_EQ(first.cycles, second.cycles);
+    EXPECT_EQ(first.instructions, second.instructions);
+    EXPECT_EQ(first.faultsInjected, second.faultsInjected);
+    EXPECT_EQ(first.degradedMessages, second.degradedMessages);
+    EXPECT_EQ(first.eccRewalks, second.eccRewalks);
+    EXPECT_GT(first.faultsInjected, 0u);
+    EXPECT_GT(first.degradedMessages, 0u);
+}
+
+TEST(FaultSystem, DifferentSeedsDiverge)
+{
+    sim::FaultPlan plan;
+    plan.grantLossProb = 0.05;
+    plan.seed = 1;
+    cpu::RunResult a, b;
+    {
+        cpu::System system(faultedSystemConfig(plan));
+        a = system.run(800);
+    }
+    plan.seed = 2;
+    {
+        cpu::System system(faultedSystemConfig(plan));
+        b = system.run(800);
+    }
+    EXPECT_GT(a.faultsInjected, 0u);
+    EXPECT_GT(b.faultsInjected, 0u);
+    // Not a hard guarantee, but with thousands of draws the streams
+    // should not produce identical injection counts and timings.
+    EXPECT_TRUE(a.faultsInjected != b.faultsInjected ||
+                a.cycles != b.cycles);
+}
+
+TEST(FaultSystem, WalkEccDoublesFlaggedWalks)
+{
+    sim::FaultPlan plan;
+    plan.walkEccProb = 1.0;
+    cpu::SystemConfig config = faultedSystemConfig(plan);
+    cpu::System system(config);
+    cpu::RunResult result = system.run(500);
+    EXPECT_GT(result.walks, 0u);
+    EXPECT_GE(result.eccRewalks, result.walks);
+}
