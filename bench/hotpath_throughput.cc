@@ -9,13 +9,20 @@
  * translation) once on the private baseline and once on NOCSTAR, then
  * reports simulated accesses per second and writes the machine-
  * readable BENCH_hotpath.json used to track the perf trajectory
- * across PRs.
+ * across PRs. The JSON also carries each run's hit-streak bypass
+ * length distribution so the bypass's coverage is observable.
  *
- * Usage: bench_hotpath [accesses-per-thread] (default 20000)
+ * Usage: bench_hotpath [accesses-per-thread] [--baseline-json FILE]
+ * (default 20000 accesses). --baseline-json loads a previously
+ * committed BENCH_hotpath.json and prints the speedup against it.
  */
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 #include "bench_common.hh"
 
@@ -31,6 +38,9 @@ struct Measurement
     std::uint64_t accesses = 0;
     Cycle simCycles = 0;
     double wallSeconds = 0;
+    /** Bypass streak-length Distribution, JSON-rendered. */
+    std::string streakJson;
+    double streakMean = 0;
 
     double
     accessesPerSec() const
@@ -51,8 +61,18 @@ measure(const char *label, core::OrgKind kind, std::uint64_t accesses)
     // cold branch predictors and allocator warmup.
     runOnce(config, accesses / 4);
 
+    // The timed run holds its System, so the bypass streak stat can
+    // be read back after run() (runOnce() discards it).
+    cpu::SystemConfig cfg = applySelections(config);
+    if (std::vector<std::string> errors = cfg.validate();
+        !errors.empty()) {
+        for (const std::string &e : errors)
+            std::fprintf(stderr, "invalid config: %s\n", e.c_str());
+        std::exit(2);
+    }
+    cpu::System system(cfg);
     auto start = std::chrono::steady_clock::now();
-    cpu::RunResult result = runOnce(config, accesses);
+    cpu::RunResult result = system.run(accesses);
     double wall = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - start)
                       .count();
@@ -62,7 +82,38 @@ measure(const char *label, core::OrgKind kind, std::uint64_t accesses)
     m.accesses = result.l1Accesses;
     m.simCycles = result.cycles;
     m.wallSeconds = wall;
+    std::ostringstream streaks;
+    system.bypassStreaks().dumpJson(streaks);
+    m.streakJson = streaks.str();
+    m.streakMean = system.bypassStreaks().mean();
     return m;
+}
+
+/**
+ * Pull "aggregate_accesses_per_sec" out of a BENCH_hotpath.json
+ * written by any prior revision of this bench. @return 0 on failure.
+ */
+double
+loadBaselineAggregate(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot read baseline json '%s'\n",
+                     path.c_str());
+        return 0;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string text = buffer.str();
+    const std::string tag = "\"aggregate_accesses_per_sec\":";
+    std::size_t at = text.find(tag);
+    if (at == std::string::npos) {
+        std::fprintf(stderr,
+                     "no aggregate_accesses_per_sec in '%s'\n",
+                     path.c_str());
+        return 0;
+    }
+    return std::strtod(text.c_str() + at + tag.size(), nullptr);
 }
 
 } // namespace
@@ -70,15 +121,22 @@ measure(const char *label, core::OrgKind kind, std::uint64_t accesses)
 int
 main(int argc, char **argv)
 {
-    bench::BenchArgs args = bench::parseBenchArgs(
-        argc, argv, 20000,
-        "simulator hot-path throughput guard (sim-cycles/s)");
+    bench::BenchArgs args{20000, 0};
+    std::string baseline_path;
+    bench::ArgParser parser = bench::makeBenchParser(
+        argc, argv,
+        "simulator hot-path throughput guard (sim-cycles/s)", args);
+    parser.option("baseline-json", &baseline_path,
+                  "prior BENCH_hotpath.json to print the speedup "
+                  "against");
+    bench::finalizeBenchArgs(parser, argc, argv, args);
     std::uint64_t accesses = args.accesses;
 
     std::printf("Simulator hot-path throughput "
                 "(fig18-style mix, 32 cores, serial)\n");
-    std::printf("%-10s %14s %14s %10s %16s\n", "org", "accesses",
-                "sim cycles", "wall s", "accesses/sec");
+    std::printf("%-10s %14s %14s %10s %16s %12s\n", "org", "accesses",
+                "sim cycles", "wall s", "accesses/sec",
+                "mean streak");
 
     Measurement runs[] = {
         measure("private", core::OrgKind::Private, accesses),
@@ -86,16 +144,23 @@ main(int argc, char **argv)
     };
     double total_accesses = 0, total_wall = 0;
     for (const Measurement &m : runs) {
-        std::printf("%-10s %14llu %14llu %10.3f %16.0f\n", m.org,
-                    static_cast<unsigned long long>(m.accesses),
+        std::printf("%-10s %14llu %14llu %10.3f %16.0f %12.2f\n",
+                    m.org, static_cast<unsigned long long>(m.accesses),
                     static_cast<unsigned long long>(m.simCycles),
-                    m.wallSeconds, m.accessesPerSec());
+                    m.wallSeconds, m.accessesPerSec(), m.streakMean);
         total_accesses += static_cast<double>(m.accesses);
         total_wall += m.wallSeconds;
     }
     double aggregate = total_wall > 0 ? total_accesses / total_wall : 0;
     std::printf("%-10s %14.0f %14s %10.3f %16.0f\n", "aggregate",
                 total_accesses, "-", total_wall, aggregate);
+
+    if (!baseline_path.empty()) {
+        double base = loadBaselineAggregate(baseline_path);
+        if (base > 0)
+            std::printf("baseline   %16.0f accesses/sec -> speedup "
+                        "%.2fx\n", base, aggregate / base);
+    }
 
     if (std::FILE *f = std::fopen("BENCH_hotpath.json", "w")) {
         std::fprintf(f,
@@ -105,10 +170,14 @@ main(int argc, char **argv)
                      "\"nocstar_accesses_per_sec\": %.1f, "
                      "\"aggregate_accesses_per_sec\": %.1f, "
                      "\"total_accesses\": %.0f, "
-                     "\"wall_seconds\": %.6f}\n",
+                     "\"wall_seconds\": %.6f, "
+                     "\"private_streak_length\": %s, "
+                     "\"nocstar_streak_length\": %s}\n",
                      static_cast<unsigned long long>(accesses),
                      runs[0].accessesPerSec(), runs[1].accessesPerSec(),
-                     aggregate, total_accesses, total_wall);
+                     aggregate, total_accesses, total_wall,
+                     runs[0].streakJson.c_str(),
+                     runs[1].streakJson.c_str());
         std::fclose(f);
     } else {
         std::fprintf(stderr, "cannot write BENCH_hotpath.json\n");

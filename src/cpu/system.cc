@@ -58,7 +58,10 @@ System::System(const SystemConfig &config)
       l1Accesses_(this, "l1_accesses", "L1 TLB demand accesses"),
       l1Misses_(this, "l1_misses", "L1 TLB demand misses"),
       pollutionStalls_(this, "pollution_stalls",
-                       "cycles charged for foreign PTE fills")
+                       "cycles charged for foreign PTE fills"),
+      bypassStreaks_(this, "bypass_streak_length",
+                     "accesses executed inline per dispatched step",
+                     0, 63, 1)
 {
     if (std::vector<std::string> errors = config.validate();
         !errors.empty())
@@ -185,8 +188,22 @@ System::nextAddress(HwThread &thread)
                        static_cast<PageNum>(config_.hotspotSlice) % n);
         return vpn << pageShift(PageSize::FourKB);
     }
-    Addr raw = thread.gen->next();
+    // Generator draws and hotspot draws come from separate streams, so
+    // pre-drawing a batch leaves every consumed address identical to
+    // per-access next() calls; capping the refill at the remaining
+    // quota keeps a capturable/replayable stream position too.
+    if (thread.batchPos == thread.batchLen) {
+        std::uint64_t remaining = thread.quota - thread.accessesDone + 1;
+        auto n = static_cast<unsigned>(std::min<std::uint64_t>(
+            HwThread::addrBatch, remaining));
+        thread.gen->nextBatch(thread.batch.data(), n);
+        thread.batchPos = 0;
+        thread.batchLen = n;
+    }
+    Addr raw = thread.batch[thread.batchPos++];
     if (capture_) {
+        // Capture at consumption, so the trace holds exactly the
+        // addresses the run used, in issue order per thread.
         auto index = static_cast<unsigned>(&thread - threads_.data());
         capture_->append(index, raw);
     }
@@ -221,53 +238,72 @@ System::step(std::size_t thread_index)
 {
     HwThread &thread = threads_[thread_index];
     Cycle now = queue_.curCycle();
+    std::uint64_t streak = 0;
 
-    if (thread.accessesDone >= thread.quota) {
-        if (!thread.finished) {
-            thread.finished = true;
-            thread.finishedAt = now;
-            --unfinished_;
+    // Hit-streak bypass: after an L1 hit the only pending work of this
+    // thread is its own next step. When the queue is quiet until that
+    // cycle (no record, live or stale, anywhere in the window -- so
+    // the step event we would schedule is exactly the event the wheel
+    // would dispatch next), executing it inline and advancing the
+    // clock directly is schedule-identical; see DESIGN.md. Any L1
+    // miss, exhausted quota or intervening event falls back to the
+    // queue.
+    for (;;) {
+        if (thread.accessesDone >= thread.quota) {
+            if (!thread.finished) {
+                thread.finished = true;
+                thread.finishedAt = now;
+                --unfinished_;
+            }
+            break;
         }
-        return;
-    }
-    ++thread.accessesDone;
+        ++thread.accessesDone;
 
-    Addr vaddr = nextAddress(thread);
-    mem::Translation t = pageTable_->translate(thread.ctx, vaddr);
-    PageNum vpn = pageNumber(vaddr, t.size);
+        Addr vaddr = nextAddress(thread);
+        mem::Translation t = pageTable_->translate(thread.ctx, vaddr);
+        PageNum vpn = pageNumber(vaddr, t.size);
 
-    ++l1Accesses_;
-    energy_.addL1Lookup();
-    const tlb::TlbEntry *l1_hit =
-        l1s_[thread.core]->lookup(thread.ctx, vpn, t.size);
+        ++l1Accesses_;
+        energy_.addL1Lookup();
+        const tlb::TlbEntry *l1_hit =
+            l1s_[thread.core]->lookup(thread.ctx, vpn, t.size);
 
-    if (l1_hit) {
+        if (!l1_hit) {
+            ++l1Misses_;
+            TRACE(System, "thread ", thread_index, " core ", thread.core,
+                  " L1 miss vaddr 0x", std::hex, vaddr, std::dec);
+            org_->translate(
+                thread.core, thread.ctx, vaddr, now,
+                [this, thread_index, vaddr,
+                 now](const core::TranslationResult &result) {
+                    HwThread &th = threads_[thread_index];
+                    if (sim::recording())
+                        sim::recorder().span(
+                            sim::Lane::Translation, th.core,
+                            result.walked        ? "translation (walk)"
+                                : result.l2Hit   ? "translation (L2 hit)"
+                                                 : "translation",
+                            now, result.completedAt, vaddr, thread_index,
+                            "vaddr", "thread");
+                    l1s_[th.core]->insert(result.entry);
+                    Cycle resume = std::max(result.completedAt,
+                                            queue_.curCycle());
+                    scheduleStep(thread_index, resume + burstCycles(th));
+                });
+            break;
+        }
+
         // Translation overlapped with the L1 cache access: no stall.
-        scheduleStep(thread_index, now + burstCycles(thread));
-        return;
+        Cycle next = now + burstCycles(thread);
+        if (!config_.stepBypass || !queue_.quietUntil(next)) {
+            scheduleStep(thread_index, next);
+            break;
+        }
+        queue_.advanceTo(next);
+        now = next;
+        ++streak;
     }
-
-    ++l1Misses_;
-    TRACE(System, "thread ", thread_index, " core ", thread.core,
-          " L1 miss vaddr 0x", std::hex, vaddr, std::dec);
-    org_->translate(
-        thread.core, thread.ctx, vaddr, now,
-        [this, thread_index, vaddr,
-         now](const core::TranslationResult &result) {
-            HwThread &th = threads_[thread_index];
-            if (sim::recording())
-                sim::recorder().span(
-                    sim::Lane::Translation, th.core,
-                    result.walked        ? "translation (walk)"
-                        : result.l2Hit   ? "translation (L2 hit)"
-                                         : "translation",
-                    now, result.completedAt, vaddr, thread_index,
-                    "vaddr", "thread");
-            l1s_[th.core]->insert(result.entry);
-            Cycle resume = std::max(result.completedAt,
-                                    queue_.curCycle());
-            scheduleStep(thread_index, resume + burstCycles(th));
-        });
+    bypassStreaks_.sample(static_cast<double>(streak));
 }
 
 void

@@ -16,6 +16,7 @@
 #ifndef NOCSTAR_CPU_SYSTEM_HH
 #define NOCSTAR_CPU_SYSTEM_HH
 
+#include <array>
 #include <deque>
 #include <memory>
 #include <string>
@@ -67,6 +68,17 @@ struct SystemConfig
 
     /** Cycles charged to a core per foreign PTE fill (Fig 17). */
     Cycle pollutionPenalty = 15;
+
+    /**
+     * Hit-streak event-queue bypass: after an L1 TLB hit, keep
+     * executing the thread's subsequent accesses inline -- advancing
+     * the clock directly -- for as long as the thread's next step
+     * would be the very event the queue dispatched next anyway. The
+     * schedule is provably identical either way (see DESIGN.md,
+     * "anatomy of the hot path"); the flag exists so tests can prove
+     * it by running both settings.
+     */
+    bool stepBypass = true;
 
     /** Flush all TLBs this often (0 = never; storm runs use 1M). */
     Cycle contextSwitchInterval = 0;
@@ -204,6 +216,12 @@ class System : public stats::StatGroup
     static std::vector<double>
     paperBuckets(const stats::Distribution &dist);
 
+    /** Hit-streak bypass coverage (inline accesses per dispatch). */
+    const stats::Distribution &bypassStreaks() const
+    {
+        return bypassStreaks_;
+    }
+
     /**
      * Write the machine-readable stats document for this system as a
      * single JSON object: `{"epochs":[...],"final":{<stats tree>}}`.
@@ -214,6 +232,9 @@ class System : public stats::StatGroup
   private:
     struct HwThread
     {
+        /** Addresses pre-drawn from the source per nextBatch() call. */
+        static constexpr unsigned addrBatch = 16;
+
         unsigned app;
         /** Creation-order index among this app's threads. */
         unsigned indexInApp;
@@ -229,6 +250,15 @@ class System : public stats::StatGroup
         Cycle pendingStall = 0;
         Cycle finishedAt = 0;
         bool finished = false;
+        /**
+         * Batched address buffer: refilled from gen->nextBatch()
+         * (capped at the remaining quota so the source's stream
+         * position stays exactly where per-access next() calls would
+         * leave it), drained one address per access.
+         */
+        std::array<Addr, addrBatch> batch;
+        unsigned batchPos = 0;
+        unsigned batchLen = 0;
     };
 
     /**
@@ -288,6 +318,11 @@ class System : public stats::StatGroup
     stats::Scalar l1Accesses_;
     stats::Scalar l1Misses_;
     stats::Scalar pollutionStalls_;
+    /**
+     * Accesses executed inline per dispatched step (0 = the bypass
+     * never fired for that dispatch), so its coverage is observable.
+     */
+    stats::Distribution bypassStreaks_;
 
     // Storm state.
     std::uint64_t stormRegionCursor_ = 0;

@@ -91,7 +91,7 @@ EventQueue::reschedule(Event *ev, Cycle when)
 }
 
 Cycle
-EventQueue::nextEventCycle()
+EventQueue::nextEventCycle() const
 {
     Cycle next = invalidCycle;
     if (wheelCount_ > 0) {
@@ -118,6 +118,37 @@ EventQueue::nextEventCycle()
     return next;
 }
 
+bool
+EventQueue::quietUntil(Cycle when) const
+{
+    if (when - _curCycle >= wheelSize)
+        return false; // window leaves the horizon: report conservatively
+    if (!overflow_.empty() && overflow_.top().when <= when)
+        return false;
+    // Check the occupancy bits of every bucket in [_curCycle, when].
+    // Bucket bits are maintained precisely (cleared the moment a bucket
+    // drains, even mid-processCycle), so a clear window really means
+    // nothing -- live or stale -- is pending there.
+    std::size_t start = _curCycle & wheelMask;
+    std::size_t n = static_cast<std::size_t>(when - _curCycle) + 1;
+    std::size_t word = start >> 6;
+    std::uint64_t bits = occupied_[word] >> (start & 63);
+    std::size_t avail = 64 - (start & 63);
+    for (;;) {
+        if (n <= avail) {
+            std::uint64_t keep =
+                n == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
+            return (bits & keep) == 0;
+        }
+        if (bits)
+            return false;
+        n -= avail;
+        word = (word + 1) & (wheelWords - 1);
+        bits = occupied_[word];
+        avail = 64;
+    }
+}
+
 void
 EventQueue::foldOverflow()
 {
@@ -141,12 +172,66 @@ EventQueue::foldOverflow()
 std::uint64_t
 EventQueue::processCycle(Cycle cycle)
 {
-    std::vector<WheelRecord> &bucket = wheel_[cycle & wheelMask];
+    std::size_t index = cycle & wheelMask;
+    std::vector<WheelRecord> &bucket = wheel_[index];
     std::uint64_t processed = 0;
+
+    auto clear_bit = [&] {
+        occupied_[index >> 6] &= ~(std::uint64_t{1} << (index & 63));
+    };
+
+    // Fast path: schedule() appends in seq order, so a bucket whose
+    // records run (priority, seq)-non-decreasing front to back is
+    // already in dispatch order and can be consumed by cursor.
+    // Records folded in from the overflow heap carry older seqs and
+    // can break the order, as can a lower-priority record appended
+    // behind a higher-priority one; the `sorted` watermark verifies
+    // the invariant incrementally (covering same-cycle records
+    // appended by process()) and the first violation falls through to
+    // the exact min-scan below.
+    auto ordered = [](const WheelRecord &a, const WheelRecord &b) {
+        return a.priority < b.priority ||
+               (a.priority == b.priority && a.seq < b.seq);
+    };
+    std::size_t cursor = 0;
+    std::size_t sorted = 0; // [0, sorted] verified non-decreasing
+    while (cursor < bucket.size()) {
+        while (sorted + 1 < bucket.size() &&
+               ordered(bucket[sorted], bucket[sorted + 1]))
+            ++sorted;
+        if (sorted + 1 < bucket.size())
+            break; // a lower priority arrived behind a higher one
+        WheelRecord rec = bucket[cursor++];
+        --wheelCount_;
+        if (cursor == bucket.size()) {
+            // Drain the bucket *before* dispatching its last record:
+            // handlers (and the hit-streak bypass they host) observe
+            // precise occupancy for this cycle.
+            bucket.clear();
+            cursor = 0;
+            sorted = 0;
+            clear_bit();
+        }
+        Event *ev = rec.event;
+        if (!ev->_scheduled || ev->_generation != rec.generation)
+            continue; // stale record from a deschedule/reschedule
+        ev->_scheduled = false;
+        ev->_when = invalidCycle;
+        --_numScheduled;
+        TRACE(EventQ, "process event prio ", rec.priority, " seq ",
+              rec.seq);
+        ev->process();
+        ++processed;
+    }
+    if (cursor > 0)
+        bucket.erase(bucket.begin(),
+                     bucket.begin() + static_cast<std::ptrdiff_t>(cursor));
+
+    // Exact fallback for mixed-priority buckets: smallest (priority,
+    // seq) first; buckets are small, so a linear scan beats maintaining
+    // a heap. Same-cycle records appended by process() are picked up by
+    // later passes.
     while (!bucket.empty()) {
-        // Smallest (priority, seq) first; buckets are small, so a
-        // linear scan beats maintaining a heap. Same-cycle records
-        // appended by process() are picked up by later passes.
         std::size_t best = 0;
         for (std::size_t i = 1; i < bucket.size(); ++i) {
             if (bucket[i].priority < bucket[best].priority ||
@@ -158,6 +243,8 @@ EventQueue::processCycle(Cycle cycle)
         bucket[best] = bucket.back();
         bucket.pop_back();
         --wheelCount_;
+        if (bucket.empty())
+            clear_bit();
 
         Event *ev = rec.event;
         if (!ev->_scheduled || ev->_generation != rec.generation)
@@ -171,8 +258,6 @@ EventQueue::processCycle(Cycle cycle)
         ev->process();
         ++processed;
     }
-    std::size_t index = cycle & wheelMask;
-    occupied_[index >> 6] &= ~(std::uint64_t{1} << (index & 63));
     return processed;
 }
 

@@ -128,6 +128,38 @@ class EventQueue
     std::size_t size() const { return _numScheduled; }
 
     /**
+     * Earliest cycle holding any pending record (live or stale) in the
+     * wheel or the overflow heap, or invalidCycle when none remain.
+     * Stale records (lazily descheduled events) make the result
+     * conservative: it may name a cycle with nothing live to run, but
+     * never a cycle later than the first live event.
+     */
+    Cycle nextEventCycle() const;
+
+    /**
+     * @return true when no record (live or stale) is pending anywhere
+     * in [curCycle(), @p when], and the overflow heap holds nothing at
+     * or before @p when. Conservative: stale records count as pending.
+     * Windows reaching beyond the wheel horizon report false.
+     */
+    bool quietUntil(Cycle when) const;
+
+    /**
+     * Advance the clock to @p when without processing anything.
+     * Precondition: no pending record sits strictly before @p when
+     * (e.g. quietUntil(when) held); violating it would strand wheel
+     * records behind the clock. Used by the hit-streak bypass, which
+     * establishes the precondition via quietUntil().
+     */
+    void
+    advanceTo(Cycle when)
+    {
+        if (when < _curCycle)
+            panic("advanceTo into the past: ", when, " < ", _curCycle);
+        _curCycle = when;
+    }
+
+    /**
      * Run until the queue drains or the cycle limit is passed.
      * @param limit stop before processing events beyond this cycle.
      * @return number of events processed.
@@ -193,12 +225,6 @@ class EventQueue
 
     /** Put a record for cycle @p when (within the horizon) in its bucket. */
     void pushToWheel(Cycle when, const WheelRecord &rec);
-
-    /**
-     * Earliest cycle holding any pending record (live or stale) in the
-     * wheel or the overflow heap. Only callable while records remain.
-     */
-    Cycle nextEventCycle();
 
     /**
      * Move overflow records whose cycle now lies within the wheel

@@ -1,11 +1,27 @@
 /**
  * @file
- * Set-associative TLB implementation.
+ * Set-associative TLB implementation (structure-of-arrays probes).
  */
 
 #include "tlb/set_assoc_tlb.hh"
 
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
 #include "sim/logging.hh"
+
+// Tag probes compare all ways of a set at once through GCC/Clang
+// vector extensions; define NOCSTAR_TLB_SCALAR_PROBE (or build with a
+// compiler without the extension) to select the scalar loop instead.
+// Both paths return identical results.
+#if defined(NOCSTAR_TLB_SCALAR_PROBE)
+#define NOCSTAR_TLB_SIMD 0
+#elif defined(__GNUC__) || defined(__clang__)
+#define NOCSTAR_TLB_SIMD 1
+#else
+#define NOCSTAR_TLB_SIMD 0
+#endif
 
 namespace nocstar::tlb
 {
@@ -23,8 +39,12 @@ SetAssocTlb::SetAssocTlb(const std::string &name, std::uint32_t entries,
 {
     if (entries == 0 || assoc == 0)
         fatal("TLB '", name, "' must have entries and associativity");
-    if (assoc > entries)
+    if (assoc > entries) {
+        warn_once("TLB '", name, "': associativity ", assoc,
+                  " exceeds ", entries, " entries; clamping to ",
+                  entries, "-way (fully associative)");
         assoc = entries;
+    }
     if (entries % assoc != 0)
         fatal("TLB '", name, "': ", entries,
               " entries not divisible by associativity ", assoc);
@@ -35,7 +55,11 @@ SetAssocTlb::SetAssocTlb(const std::string &name, std::uint32_t entries,
         setMask_ = numSets_ - 1;
     else
         setFastModM_ = ~static_cast<unsigned __int128>(0) / numSets_ + 1;
-    entries_.resize(entries);
+    // 3 trailing pad slots keep the vector probe's 4-lane loads inside
+    // the allocation for every way of the last set.
+    keys_.assign(static_cast<std::size_t>(entries) + 3, invalidKey);
+    lastUse_.assign(entries, 0);
+    payload_.resize(entries);
 }
 
 std::uint32_t
@@ -67,35 +91,84 @@ SetAssocTlb::setIndex(PageNum vpn, PageSize size) const
     return static_cast<std::uint32_t>(p_hi >> 64);
 }
 
-TlbEntry *
-SetAssocTlb::findEntry(ContextId ctx, PageNum vpn, PageSize size)
+int
+SetAssocTlb::findWay(std::uint32_t set, std::uint64_t key) const
 {
-    std::uint32_t set = setIndex(vpn, size);
-    TlbEntry *base = &entries_[static_cast<std::size_t>(set) * assoc_];
-    for (std::uint32_t way = 0; way < assoc_; ++way) {
-        if (base[way].matches(ctx, vpn, size))
-            return &base[way];
+    const std::uint64_t *base =
+        keys_.data() + static_cast<std::size_t>(set) * assoc_;
+#if NOCSTAR_TLB_SIMD
+    typedef std::uint64_t KeyVec __attribute__((vector_size(32)));
+    const KeyVec probe = {key, key, key, key};
+    for (std::uint32_t w = 0; w < assoc_; w += 4) {
+        KeyVec lanes;
+        std::memcpy(&lanes, base + w, sizeof(lanes));
+        auto eq = lanes == probe; // matching lanes read all-ones
+        auto mask = static_cast<unsigned>(
+            (eq[0] & 1) | (eq[1] & 2) | (eq[2] & 4) | (eq[3] & 8));
+        if (std::uint32_t rem = assoc_ - w; rem < 4)
+            mask &= (1u << rem) - 1; // lanes past the set's last way
+        if (mask)
+            return static_cast<int>(w) + std::countr_zero(mask);
     }
-    return nullptr;
+    return -1;
+#else
+    for (std::uint32_t way = 0; way < assoc_; ++way) {
+        if (base[way] == key)
+            return static_cast<int>(way);
+    }
+    return -1;
+#endif
+}
+
+int
+SetAssocTlb::findIndex(ContextId ctx, PageNum vpn, PageSize size) const
+{
+    if (outOfTagRange(ctx, vpn))
+        return -1; // unpackable, so insert() can never have stored it
+    std::uint32_t set = setIndex(vpn, size);
+    int way = findWay(set, packKey(ctx, vpn, size));
+    if (way < 0)
+        return -1;
+    return static_cast<int>(set * assoc_) + way;
+}
+
+std::uint32_t
+SetAssocTlb::victimWay(std::uint32_t set) const
+{
+    // Branchless strict min-scan: empty ways hold stamp 0 and valid
+    // ways hold distinct stamps >= 1, so the scan lands on the first
+    // empty way when one exists and on the unique LRU way otherwise --
+    // the same victim the old first-invalid-else-LRU loop chose.
+    const std::uint64_t *use =
+        lastUse_.data() + static_cast<std::size_t>(set) * assoc_;
+    std::uint32_t victim = 0;
+    std::uint64_t best = use[0];
+    for (std::uint32_t way = 1; way < assoc_; ++way) {
+        bool earlier = use[way] < best;
+        victim = earlier ? way : victim;
+        best = earlier ? use[way] : best;
+    }
+    return victim;
 }
 
 const TlbEntry *
 SetAssocTlb::lookup(ContextId ctx, PageNum vpn, PageSize size,
                     bool update_lru)
 {
-    TlbEntry *entry = findEntry(ctx, vpn, size);
-    if (!entry) {
+    int index = findIndex(ctx, vpn, size);
+    if (index < 0) {
         ++misses;
         return nullptr;
     }
     ++hits;
-    if (entry->prefetched) {
+    TlbEntry &entry = payload_[static_cast<std::size_t>(index)];
+    if (entry.prefetched) {
         ++prefetchHits;
-        entry->prefetched = false;
+        entry.prefetched = false;
     }
     if (update_lru)
-        entry->lastUse = ++lruClock_;
-    return entry;
+        lastUse_[static_cast<std::size_t>(index)] = ++lruClock_;
+    return &entry;
 }
 
 const TlbEntry *
@@ -106,16 +179,17 @@ SetAssocTlb::lookupAnySize(ContextId ctx, Addr vaddr, bool update_lru)
     static constexpr PageSize sizes[] = {PageSize::FourKB, PageSize::TwoMB,
                                          PageSize::OneGB};
     for (PageSize size : sizes) {
-        TlbEntry *entry = findEntry(ctx, pageNumber(vaddr, size), size);
-        if (entry) {
+        int index = findIndex(ctx, pageNumber(vaddr, size), size);
+        if (index >= 0) {
             ++hits;
-            if (entry->prefetched) {
+            TlbEntry &entry = payload_[static_cast<std::size_t>(index)];
+            if (entry.prefetched) {
                 ++prefetchHits;
-                entry->prefetched = false;
+                entry.prefetched = false;
             }
             if (update_lru)
-                entry->lastUse = ++lruClock_;
-            return entry;
+                lastUse_[static_cast<std::size_t>(index)] = ++lruClock_;
+            return &entry;
         }
     }
     ++misses;
@@ -127,73 +201,83 @@ SetAssocTlb::insert(const TlbEntry &entry)
 {
     if (!entry.valid)
         panic("inserting invalid TLB entry");
+    if (outOfTagRange(entry.ctx, entry.vpn))
+        fatal("TLB entry (ctx ", entry.ctx, ", vpn ", entry.vpn,
+              ") exceeds the packed tag's field widths (ctx <= ",
+              maxCtx, ", vpn <= ", maxVpn, ")");
     ++insertions;
 
+    std::uint32_t set = setIndex(entry.vpn, entry.size);
+    std::uint64_t key = packKey(entry.ctx, entry.vpn, entry.size);
+
     // Refresh in place if already present (e.g. racing fills).
-    if (TlbEntry *existing = findEntry(entry.ctx, entry.vpn, entry.size)) {
-        bool was_prefetched = existing->prefetched && entry.prefetched;
-        *existing = entry;
-        existing->prefetched = was_prefetched;
-        existing->lastUse = ++lruClock_;
+    if (int way = findWay(set, key); way >= 0) {
+        std::size_t index = static_cast<std::size_t>(set) * assoc_ +
+                            static_cast<std::uint32_t>(way);
+        TlbEntry &existing = payload_[index];
+        bool was_prefetched = existing.prefetched && entry.prefetched;
+        existing = entry;
+        existing.prefetched = was_prefetched;
+        existing.lastUse = ++lruClock_;
+        lastUse_[index] = existing.lastUse;
         return std::nullopt;
     }
 
-    std::uint32_t set = setIndex(entry.vpn, entry.size);
-    TlbEntry *base = &entries_[static_cast<std::size_t>(set) * assoc_];
-    TlbEntry *victim = &base[0];
-    for (std::uint32_t way = 0; way < assoc_; ++way) {
-        if (!base[way].valid) {
-            victim = &base[way];
-            break;
-        }
-        if (base[way].lastUse < victim->lastUse)
-            victim = &base[way];
-    }
+    std::uint32_t way = victimWay(set);
+    std::size_t index = static_cast<std::size_t>(set) * assoc_ + way;
 
     std::optional<TlbEntry> evicted;
-    if (victim->valid) {
+    if (keys_[index] != invalidKey) {
         ++evictions;
-        evicted = *victim;
+        evicted = payload_[index];
+    } else {
+        ++validCount_;
     }
-    *victim = entry;
-    victim->lastUse = ++lruClock_;
+    keys_[index] = key;
+    payload_[index] = entry;
+    payload_[index].lastUse = ++lruClock_;
+    lastUse_[index] = payload_[index].lastUse;
     return evicted;
 }
 
 bool
 SetAssocTlb::present(ContextId ctx, PageNum vpn, PageSize size) const
 {
-    std::uint32_t set = setIndex(vpn, size);
-    const TlbEntry *base =
-        &entries_[static_cast<std::size_t>(set) * assoc_];
-    for (std::uint32_t way = 0; way < assoc_; ++way) {
-        if (base[way].matches(ctx, vpn, size))
-            return true;
-    }
-    return false;
+    return findIndex(ctx, vpn, size) >= 0;
 }
 
 bool
 SetAssocTlb::invalidate(ContextId ctx, PageNum vpn, PageSize size)
 {
-    if (TlbEntry *entry = findEntry(ctx, vpn, size)) {
-        entry->valid = false;
-        ++invalidations;
-        return true;
-    }
-    return false;
+    int index = findIndex(ctx, vpn, size);
+    if (index < 0)
+        return false;
+    auto i = static_cast<std::size_t>(index);
+    keys_[i] = invalidKey;
+    lastUse_[i] = 0;
+    payload_[i].valid = false;
+    --validCount_;
+    ++invalidations;
+    return true;
 }
 
 std::uint64_t
 SetAssocTlb::invalidateContext(ContextId ctx)
 {
+    if (validCount_ == 0 || ctx > maxCtx)
+        return 0; // empty array / a context no tag can encode
     std::uint64_t count = 0;
-    for (TlbEntry &entry : entries_) {
-        if (entry.valid && entry.ctx == ctx) {
-            entry.valid = false;
+    std::uint64_t ctx_bits = static_cast<std::uint64_t>(ctx) << 2;
+    for (std::size_t i = 0; i < numEntries_; ++i) {
+        if (keys_[i] != invalidKey &&
+            (keys_[i] & (std::uint64_t{maxCtx} << 2)) == ctx_bits) {
+            keys_[i] = invalidKey;
+            lastUse_[i] = 0;
+            payload_[i].valid = false;
             ++count;
         }
     }
+    validCount_ -= count;
     invalidations += static_cast<double>(count);
     return count;
 }
@@ -201,23 +285,15 @@ SetAssocTlb::invalidateContext(ContextId ctx)
 std::uint64_t
 SetAssocTlb::invalidateAll()
 {
-    std::uint64_t count = 0;
-    for (TlbEntry &entry : entries_) {
-        if (entry.valid) {
-            entry.valid = false;
-            ++count;
-        }
-    }
+    if (validCount_ == 0)
+        return 0;
+    std::uint64_t count = validCount_;
+    std::fill(keys_.begin(), keys_.end(), invalidKey);
+    std::fill(lastUse_.begin(), lastUse_.end(), 0);
+    for (TlbEntry &entry : payload_)
+        entry.valid = false;
+    validCount_ = 0;
     invalidations += static_cast<double>(count);
-    return count;
-}
-
-std::uint64_t
-SetAssocTlb::occupancy() const
-{
-    std::uint64_t count = 0;
-    for (const TlbEntry &entry : entries_)
-        count += entry.valid ? 1 : 0;
     return count;
 }
 

@@ -3,6 +3,15 @@
  * A set-associative TLB array with true-LRU replacement and
  * modulo-indexing on the low-order virtual page number bits (paper
  * §III-E), supporting mixed page sizes in one array via per-size probes.
+ *
+ * Storage is structure-of-arrays: tags live in a packed 64-bit key
+ * array ((vpn, ctx, size) folded into one word, all-ones = invalid)
+ * compared across all ways with portable SIMD, recency in a parallel
+ * lastUse array scanned branchlessly for victims, and the full
+ * TlbEntry payload in a third parallel array touched only on hits.
+ * A set's four tags span one 32-byte vector load instead of four
+ * 40-byte struct probes, which is where most of the lookup time of
+ * the scalar array-of-structs layout went.
  */
 
 #ifndef NOCSTAR_TLB_SET_ASSOC_TLB_HH
@@ -80,8 +89,13 @@ class SetAssocTlb : public stats::StatGroup
     std::uint32_t assoc() const { return assoc_; }
     std::uint32_t numSets() const { return numSets_; }
 
-    /** Number of currently valid entries (O(n); for tests/stats). */
-    std::uint64_t occupancy() const;
+    /** Number of currently valid entries (live counter, O(1)). */
+    std::uint64_t occupancy() const { return validCount_; }
+
+    /** Largest VPN a packed tag can hold (46 tag bits). */
+    static constexpr PageNum maxVpn = (PageNum{1} << 46) - 1;
+    /** Largest context id a packed tag can hold (16 tag bits). */
+    static constexpr ContextId maxCtx = (ContextId{1} << 16) - 1;
 
     // Aggregate statistics (public so organizations can derive rates).
     stats::Scalar hits;
@@ -101,10 +115,40 @@ class SetAssocTlb : public stats::StatGroup
     }
 
   private:
+    /**
+     * Packed tag word: vpn[63:18] | ctx[17:2] | size[1:0]. The
+     * injective encoding makes a whole-way match one 64-bit compare.
+     * All-ones marks an empty way; no valid key can collide with it
+     * because its size field reads 3 and PageSize stops at 2.
+     */
+    static constexpr std::uint64_t invalidKey = ~std::uint64_t{0};
+
+    static std::uint64_t
+    packKey(ContextId ctx, PageNum vpn, PageSize size)
+    {
+        return (vpn << 18) |
+               (static_cast<std::uint64_t>(ctx) << 2) |
+               static_cast<std::uint64_t>(size);
+    }
+
+    /** True when (ctx, vpn) exceeds the packed tag's field widths. */
+    static bool
+    outOfTagRange(ContextId ctx, PageNum vpn)
+    {
+        return vpn > maxVpn || ctx > maxCtx;
+    }
+
     /** Set index for (vpn, size): modulo indexing on low VPN bits. */
     std::uint32_t setIndex(PageNum vpn, PageSize size) const;
 
-    TlbEntry *findEntry(ContextId ctx, PageNum vpn, PageSize size);
+    /** Way holding @p key within @p set, or -1. */
+    int findWay(std::uint32_t set, std::uint64_t key) const;
+
+    /** Index into the parallel arrays of (set, way), or -1. */
+    int findIndex(ContextId ctx, PageNum vpn, PageSize size) const;
+
+    /** The set's replacement victim: first empty way, else true LRU. */
+    std::uint32_t victimWay(std::uint32_t set) const;
 
     std::uint32_t numEntries_;
     std::uint32_t assoc_;
@@ -119,7 +163,20 @@ class SetAssocTlb : public stats::StatGroup
      */
     unsigned __int128 setFastModM_ = 0;
     std::uint64_t lruClock_ = 0;
-    std::vector<TlbEntry> entries_;
+    std::uint64_t validCount_ = 0;
+    /**
+     * Packed tags, padded with 3 trailing invalid slots so the last
+     * set's 4-lane vector load never reads past the allocation.
+     */
+    std::vector<std::uint64_t> keys_;
+    /**
+     * LRU stamps; empty ways hold 0 and valid ways hold >= 1, so one
+     * strict min-scan picks the first empty way when any exists and
+     * the unique least-recently-used way otherwise.
+     */
+    std::vector<std::uint64_t> lastUse_;
+    /** Full entries, indexed like keys_; read only on hits. */
+    std::vector<TlbEntry> payload_;
 };
 
 } // namespace nocstar::tlb

@@ -8,6 +8,8 @@
 #ifndef NOCSTAR_WORKLOAD_ADDRESS_SOURCE_HH
 #define NOCSTAR_WORKLOAD_ADDRESS_SOURCE_HH
 
+#include <cstddef>
+
 #include "sim/types.hh"
 
 namespace nocstar::workload
@@ -23,6 +25,20 @@ class AddressSource
 
     /** Next virtual address; sources never run dry (traces loop). */
     virtual Addr next() = 0;
+
+    /**
+     * Draw the next @p n addresses of the stream into @p out -- the
+     * same values @p n successive next() calls would return. Concrete
+     * sources override this to amortize the per-address virtual call
+     * (the synthetic generator draws its whole batch inline, the
+     * trace replayer turns into a wrap-aware memcpy).
+     */
+    virtual void
+    nextBatch(Addr *out, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = next();
+    }
 };
 
 } // namespace nocstar::workload

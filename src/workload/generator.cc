@@ -17,7 +17,7 @@ AccessGenerator::AccessGenerator(const WorkloadSpec &spec, ContextId ctx,
 {}
 
 Addr
-AccessGenerator::next()
+AccessGenerator::draw()
 {
     double u = rng_.uniform();
     PageNum page;

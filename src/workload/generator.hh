@@ -39,7 +39,15 @@ class AccessGenerator : public AddressSource
                     unsigned thread, std::uint64_t seed);
 
     /** Next virtual byte address of the stream. */
-    Addr next() override;
+    Addr next() override { return draw(); }
+
+    /** Batched draw: one virtual dispatch for @p n addresses. */
+    void
+    nextBatch(Addr *out, std::size_t n) override
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = draw();
+    }
 
     const WorkloadSpec &spec() const { return spec_; }
     ContextId ctx() const { return ctx_; }
@@ -67,6 +75,9 @@ class AccessGenerator : public AddressSource
     }
 
   private:
+    /** One address draw (non-virtual core of next()/nextBatch()). */
+    Addr draw();
+
     WorkloadSpec spec_;
     ContextId ctx_;
     unsigned thread_;

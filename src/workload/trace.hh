@@ -12,6 +12,7 @@
 #ifndef NOCSTAR_WORKLOAD_TRACE_HH
 #define NOCSTAR_WORKLOAD_TRACE_HH
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -73,6 +74,23 @@ class TraceSource : public AddressSource
         Addr vaddr = records_[cursor_];
         cursor_ = (cursor_ + 1) % records_.size();
         return vaddr;
+    }
+
+    void
+    nextBatch(Addr *out, std::size_t n) override
+    {
+        // Wrap-aware block copies instead of a modulo per record.
+        while (n > 0) {
+            std::size_t run = std::min(n, records_.size() - cursor_);
+            std::copy_n(records_.begin() +
+                            static_cast<std::ptrdiff_t>(cursor_),
+                        run, out);
+            cursor_ += run;
+            if (cursor_ == records_.size())
+                cursor_ = 0;
+            out += run;
+            n -= run;
+        }
     }
 
   private:
