@@ -155,6 +155,59 @@ faultSelection()
 }
 
 /**
+ * Sharded-engine selection, filled in by the --shards option. When
+ * set, every configuration a bench runs uses the window engine with
+ * this many shards (see SystemConfig::shards); results are
+ * byte-identical at every shard count, so this is purely a wall-clock
+ * knob and safe to apply sweep-wide.
+ */
+struct ShardSelection
+{
+    /** 0 = legacy single-queue engine; >= 1 = window engine. */
+    unsigned shards = 0;
+    bool set = false;
+};
+
+/** The process-wide shard selection (set once at startup). */
+inline ShardSelection &
+shardSelection()
+{
+    static ShardSelection sel;
+    return sel;
+}
+
+/**
+ * Clamp @p jobs so that jobs x shards worker threads never exceed the
+ * host's hardware threads (sweep workers and shard crews multiply, and
+ * the shard crew spins between windows, so oversubscription destroys
+ * rather than degrades the speedup). Warns on stderr the first time it
+ * clamps.
+ */
+inline unsigned
+clampJobsForShards(unsigned jobs, unsigned shards)
+{
+    if (shards <= 1 || jobs == 0)
+        return jobs;
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    if (static_cast<std::uint64_t>(jobs) * shards <= hw)
+        return jobs;
+    unsigned clamped = std::max(1u, hw / shards);
+    if (clamped >= jobs)
+        return jobs;
+    static bool warned = false;
+    if (!warned) {
+        warned = true;
+        std::fprintf(stderr,
+                     "note: clamping --jobs %u to %u: %u jobs x %u "
+                     "shards would oversubscribe %u hardware threads\n",
+                     jobs, clamped, jobs, shards, hw);
+    }
+    return clamped;
+}
+
+/**
  * Apply the process-wide command-line selections (observability,
  * fault plan) to a copy of @p config.
  */
@@ -168,6 +221,8 @@ applySelections(const cpu::SystemConfig &config)
     cfg.statsJsonPath = obs.statsJson;
     if (faultSelection().configured)
         cfg.org.faults = faultSelection().plan;
+    if (shardSelection().set)
+        cfg.shards = shardSelection().shards;
     return cfg;
 }
 
@@ -260,6 +315,27 @@ addStandardBenchOptions(ArgParser &parser, BenchArgs &args)
         },
         "inject faults per this plan file (see docs)", "FILE");
     parser.option(
+        "shards",
+        [](const std::string &value) {
+            ShardSelection &sel = shardSelection();
+            std::uint64_t n = 0;
+            if (!parseUnsigned(value, n))
+                return false;
+            if (n < 1) {
+                std::fprintf(stderr,
+                             "--shards must be >= 1 (0 would select "
+                             "the legacy engine; omit the flag "
+                             "instead)\n");
+                return false;
+            }
+            sel.shards = static_cast<unsigned>(n);
+            sel.set = true;
+            return true;
+        },
+        "run every simulation on N parallel shards (window engine; "
+        "results are byte-identical at every N)",
+        "N");
+    parser.option(
         "fault-seed",
         [](const std::string &value) {
             FaultSelection &faults = faultSelection();
@@ -325,6 +401,9 @@ finalizeBenchArgs(ArgParser &parser, int argc, char **argv,
     faults.configured = faults.planLoaded;
     if (args.jobs == 0)
         args.jobs = sim::defaultJobs();
+    if (shardSelection().set)
+        args.jobs = clampJobsForShards(args.jobs,
+                                       shardSelection().shards);
     return args;
 }
 

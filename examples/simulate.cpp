@@ -119,6 +119,17 @@ main(int argc, char **argv)
                   "fixed walk latency in cycles (default variable)");
     parser.option("seed", &config.seed, "random seed (default 1)");
     parser.option(
+        "shards",
+        [&config](const std::string &value) {
+            std::uint64_t n = 0;
+            if (!bench::parseUnsigned(value, n) || n < 1)
+                return false;
+            config.shards = static_cast<unsigned>(n);
+            return true;
+        },
+        "run on N >= 1 parallel shards (window engine; byte-identical "
+        "results at every N)", "N");
+    parser.option(
         "hotspot",
         [&config](const std::string &value) {
             std::uint64_t slice;

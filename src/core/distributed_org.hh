@@ -42,6 +42,17 @@ class DistributedOrg : public TlbOrganization
     std::uint64_t totalEntries() const override;
 
     /**
+     * A local-slice hit completes at portStart(t0) + sliceLatency_;
+     * remote slices and walks only add network cycles. Holds for the
+     * ideal (zero-latency) network too.
+     */
+    Cycle
+    minCompletionLead() const override
+    {
+        return config_.initiateLatency + sliceLatency_;
+    }
+
+    /**
      * Home slice of a virtual address: 4 KB-granule interleaving on
      * low VPN bits ("simple indexing using bits from the virtual
      * address", §III-A). A 2 MB entry is cached in the slice of the

@@ -41,6 +41,20 @@ class MonolithicOrg : public TlbOrganization
 
     std::uint64_t totalEntries() const override;
 
+    /**
+     * Fig-4 override mode completes at portStart(t0) + override; the
+     * full model adds traversals around the bank access. Either way
+     * initiate + the fixed array term is a floor.
+     */
+    Cycle
+    minCompletionLead() const override
+    {
+        return config_.initiateLatency +
+               (config_.monolithicAccessOverride
+                    ? config_.monolithicAccessOverride
+                    : bankLatency_);
+    }
+
     /** Tile adjacent to which the monolithic structure is placed. */
     CoreId structureTile() const { return structureTile_; }
 

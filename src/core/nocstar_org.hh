@@ -65,6 +65,17 @@ class NocstarOrg : public TlbOrganization
 
     Cycle sliceLatency() const { return sliceLatency_; }
 
+    /**
+     * Every completion path (local, single-trip, round-trip, denial
+     * retries, mesh fallback, walks) runs through a slice lookup
+     * ending at portStart(>= now + initiate) + sliceLatency_ first.
+     */
+    Cycle
+    minCompletionLead() const override
+    {
+        return config_.initiateLatency + sliceLatency_;
+    }
+
   private:
     /** Continue after a slice lookup that hit: respond to the core. */
     void respondHit(CoreId core, CoreId slice, tlb::TlbEntry entry,

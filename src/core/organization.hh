@@ -134,6 +134,18 @@ class TlbOrganization : public stats::StatGroup
      */
     virtual void syncFaultStats(Cycle now) { (void)now; }
 
+    /**
+     * Provable lower bound on (completedAt - now) for any translate()
+     * call: every organization charges initiateLatency up front and
+     * then at least one full array access before the earliest possible
+     * completion (networks, ports and walks only add to that). The
+     * sharded engine's conservative lookahead window is derived from
+     * this bound (see DESIGN.md, "conservative lookahead"), so an
+     * override returning more than the true minimum would corrupt
+     * results, and one returning less only shrinks the window.
+     */
+    virtual Cycle minCompletionLead() const { return 1; }
+
     const OrgConfig &config() const { return config_; }
 
     // Chip-wide statistics shared by all organizations.

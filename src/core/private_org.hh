@@ -38,6 +38,13 @@ class PrivateOrg : public TlbOrganization
 
     std::uint64_t totalEntries() const override;
 
+    /** Every hit pays initiate + the private array's access latency. */
+    Cycle
+    minCompletionLead() const override
+    {
+        return config_.initiateLatency + lookupLatency_;
+    }
+
     /** Direct array access for tests. */
     tlb::SetAssocTlb &arrayOf(CoreId core) { return *arrays_.at(core); }
 

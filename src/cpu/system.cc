@@ -9,6 +9,7 @@
 #include <cmath>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "core/nocstar_org.hh"
 #include "energy/sram_model.hh"
@@ -48,6 +49,14 @@ SystemConfig::validate() const
     if (walker.eccRetryProb < 0.0 || walker.eccRetryProb > 1.0)
         errors.push_back(strCat("walker.eccRetryProb ",
                                 walker.eccRetryProb, " outside [0, 1]"));
+    if (shards > org.numCores)
+        errors.push_back(strCat("shards (", shards,
+                                ") exceed the tile count (",
+                                org.numCores, ")"));
+    if (shards >= 1 && !captureTracePath.empty())
+        errors.push_back("captureTracePath requires the legacy engine "
+                         "(shards = 0): addresses are consumed inside "
+                         "parallel shard windows");
     return errors;
 }
 
@@ -171,6 +180,24 @@ System::System(const SystemConfig &config)
     }
     if (!config.captureTracePath.empty())
         capture_ = std::make_unique<workload::TraceFile>();
+
+    if (config.shards >= 1) {
+        // Window engine: contiguous core ranges per shard, so the SMT
+        // threads of one core always share a queue (their same-cycle
+        // dispatch order is a per-queue property).
+        split_ = true;
+        unsigned shards = config.shards;
+        for (unsigned s = 0; s < shards; ++s)
+            shardQueues_.push_back(std::make_unique<EventQueue>());
+        lanes_.assign(shards, ShardLane{});
+        deferred_ =
+            std::make_unique<sim::ShardMailboxes<DeferredMiss>>(shards);
+        shardOfThread_.reserve(threads_.size());
+        for (const HwThread &thread : threads_)
+            shardOfThread_.push_back(static_cast<unsigned>(
+                static_cast<std::uint64_t>(thread.core) * shards /
+                cores));
+    }
 }
 
 System::~System() = default;
@@ -230,7 +257,11 @@ System::scheduleStep(std::size_t thread_index, Cycle when)
 {
     // Each thread has at most one step in flight, so its intrusive
     // event is always free for reuse here.
-    queue_.schedule(&stepEvents_[thread_index], when);
+    if (split_)
+        shardQueues_[shardOfThread_[thread_index]]->schedule(
+            &stepEvents_[thread_index], when);
+    else
+        queue_.schedule(&stepEvents_[thread_index], when);
 }
 
 void
@@ -304,6 +335,194 @@ System::step(std::size_t thread_index)
         ++streak;
     }
     bypassStreaks_.sample(static_cast<double>(streak));
+}
+
+void
+System::shardStep(std::size_t thread_index)
+{
+    HwThread &thread = threads_[thread_index];
+    unsigned shard = shardOfThread_[thread_index];
+    EventQueue &q = *shardQueues_[shard];
+    ShardLane &lane = lanes_[shard];
+    Cycle now = q.curCycle();
+
+    for (;;) {
+        if (thread.accessesDone >= thread.quota) {
+            if (!thread.finished) {
+                thread.finished = true;
+                thread.finishedAt = now;
+                unfinished_.fetch_sub(1, std::memory_order_relaxed);
+            }
+            break;
+        }
+        ++thread.accessesDone;
+
+        Addr vaddr = nextAddress(thread);
+        std::optional<mem::Translation> t =
+            pageTable_->peek(thread.ctx, vaddr);
+        if (!t) {
+            // Unallocated region: no L1 array can hold a page of a
+            // region that does not exist yet, so this is a guaranteed
+            // miss -- but the allocation mutates shared page-table
+            // state, so the whole access (allocation, probe, counting)
+            // replays in the serial phase.
+            deferred_->post(
+                shard, DeferredMiss{
+                           now,
+                           static_cast<std::uint32_t>(thread_index),
+                           vaddr, false});
+            break;
+        }
+
+        ++lane.l1Accesses;
+        const tlb::TlbEntry *l1_hit = l1s_[thread.core]->lookup(
+            thread.ctx, pageNumber(vaddr, t->size), t->size);
+        if (!l1_hit) {
+            ++lane.l1Misses;
+            deferred_->post(
+                shard, DeferredMiss{
+                           now,
+                           static_cast<std::uint32_t>(thread_index),
+                           vaddr, true});
+            break;
+        }
+
+        // L1 hit: the legacy hit-streak bypass, additionally clamped
+        // to the window end (past it, the serial phase may owe this
+        // queue a resumption this quiescence scan cannot see).
+        Cycle next = now + burstCycles(thread);
+        if (!config_.stepBypass || next > windowEnd_ ||
+            q.firstBusyCycle(next) != invalidCycle) {
+            q.schedule(&stepEvents_[thread_index], next);
+            break;
+        }
+        q.advanceTo(next);
+        now = next;
+    }
+}
+
+void
+System::replayMiss(const DeferredMiss &miss)
+{
+    auto thread_index = static_cast<std::size_t>(miss.thread);
+    HwThread &thread = threads_[thread_index];
+    Cycle now = miss.cycle;
+    Addr vaddr = miss.vaddr;
+
+    if (!miss.probed) {
+        // First touch of the region: allocate, then take the probe the
+        // shard skipped, with its counting. The probe cannot hit.
+        mem::Translation t = pageTable_->translate(thread.ctx, vaddr);
+        ++l1Accesses_;
+        energy_.addL1Lookup();
+        if (l1s_[thread.core]->lookup(thread.ctx,
+                                      pageNumber(vaddr, t.size), t.size))
+            panic("deferred first-touch access hit the L1 TLB");
+        ++l1Misses_;
+    }
+
+    TRACE(System, "thread ", thread_index, " core ", thread.core,
+          " L1 miss vaddr 0x", std::hex, vaddr, std::dec);
+    org_->translate(
+        thread.core, thread.ctx, vaddr, now,
+        [this, thread_index, vaddr,
+         now](const core::TranslationResult &result) {
+            HwThread &th = threads_[thread_index];
+            if (sim::recording())
+                sim::recorder().span(
+                    sim::Lane::Translation, th.core,
+                    result.walked        ? "translation (walk)"
+                        : result.l2Hit   ? "translation (L2 hit)"
+                                         : "translation",
+                    now, result.completedAt, vaddr, thread_index,
+                    "vaddr", "thread");
+            l1s_[th.core]->insert(result.entry);
+            Cycle resume = std::max(result.completedAt,
+                                    queue_.curCycle());
+            pendingResumes_.push_back(
+                PendingResume{thread_index, resume + burstCycles(th)});
+        });
+}
+
+void
+System::driveSharded()
+{
+    // Conservative lookahead: no organization completion for a miss
+    // issued at cycle c can land before c + lead, so a window covering
+    // [T, T + lead - 1] can run every shard's step events in parallel
+    // without observing any serial-phase effect out of order (proof in
+    // DESIGN.md, "conservative lookahead").
+    const Cycle lead = std::max<Cycle>(1, org_->minCompletionLead());
+    const auto shards = static_cast<unsigned>(shardQueues_.size());
+    // Worker threads only pay off when each shard can own a CPU; on a
+    // smaller host the crew runs the (identical) windows serially.
+    sim::ShardCrew crew(shards,
+                        std::thread::hardware_concurrency() >= shards);
+    sim::ShardCrew::WindowFn window_fn = [this](unsigned shard) {
+        EventQueue &q = *shardQueues_[shard];
+        if (!q.empty() && q.nextEventCycle() <= windowEnd_)
+            q.run(windowEnd_);
+    };
+
+    for (;;) {
+        // Wake the threads resumed by the previous serial phase. The
+        // floor windowEnd_ + 1 sits above every shard clock; it
+        // provably never binds (completions land beyond the window
+        // that issued the miss), but keeps the no-past-schedule
+        // invariant local.
+        for (const PendingResume &resume : pendingResumes_)
+            shardQueues_[shardOfThread_[resume.thread]]->schedule(
+                &stepEvents_[resume.thread],
+                std::max(resume.when, windowEnd_ + 1));
+        pendingResumes_.clear();
+
+        Cycle steps = invalidCycle;
+        for (const auto &q : shardQueues_)
+            steps = std::min(steps, q->nextEventCycle());
+        Cycle uncore = queue_.nextEventCycle();
+        if (steps == invalidCycle && uncore == invalidCycle)
+            break;
+        Cycle end = steps == invalidCycle
+            ? uncore
+            : std::min(uncore, steps + lead - 1);
+        windowEnd_ = end;
+
+        // Phase A: every shard runs its own step events through the
+        // window, in parallel, touching shard-owned state only.
+        if (steps <= end)
+            crew.runWindow(window_fn);
+
+        // Fold the shard lanes: integer sums first, one Scalar add
+        // each, so the accumulated doubles are bit-identical at every
+        // shard count (integral doubles below 2^53 add exactly).
+        std::uint64_t accesses = 0, misses = 0;
+        for (ShardLane &lane : lanes_) {
+            accesses += lane.l1Accesses;
+            misses += lane.l1Misses;
+            lane = ShardLane{};
+        }
+        l1Accesses_ += static_cast<double>(accesses);
+        l1Misses_ += static_cast<double>(misses);
+        energy_.addL1Lookups(accesses);
+
+        // Canonical replay: merge the deferred misses by (cycle,
+        // thread) -- an order independent of the shard partition --
+        // and inject each at its original cycle, ahead of the clock
+        // because every miss cycle lies in the current window.
+        if (!deferred_->empty()) {
+            for (const DeferredMiss &miss :
+                 deferred_->drain([](const DeferredMiss &m) {
+                     return std::make_pair(m.cycle, m.thread);
+                 }))
+                queue_.scheduleLambda(
+                    miss.cycle, [this, miss] { replayMiss(miss); });
+        }
+
+        // Phase B: the uncore (organization, fabric, walkers, caches,
+        // storm / context-switch / epoch machinery) runs serially
+        // through the same window.
+        queue_.run(end);
+    }
 }
 
 void
@@ -550,7 +769,10 @@ System::run(std::uint64_t accesses_per_thread)
     installStormEvent();
     installEpochEvent();
 
-    queue_.run();
+    if (split_)
+        driveSharded();
+    else
+        queue_.run();
 
     org_->syncFaultStats(queue_.curCycle());
 

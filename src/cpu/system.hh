@@ -17,6 +17,7 @@
 #define NOCSTAR_CPU_SYSTEM_HH
 
 #include <array>
+#include <atomic>
 #include <deque>
 #include <memory>
 #include <string>
@@ -28,6 +29,7 @@
 #include "mem/page_table.hh"
 #include "mem/page_walker.hh"
 #include "sim/event_queue.hh"
+#include "sim/shard.hh"
 #include "tlb/l1_tlb.hh"
 #include "workload/generator.hh"
 #include "workload/spec.hh"
@@ -84,6 +86,20 @@ struct SystemConfig
     Cycle contextSwitchInterval = 0;
     /** Storm microbenchmark remap period (0 = off). */
     Cycle stormRemapInterval = 0;
+
+    /**
+     * Deterministic sharded execution: partition the cores into this
+     * many shards, each owning a private timing-wheel EventQueue for
+     * its threads' step events, run in parallel inside conservative
+     * lookahead windows derived from the organization's minimum
+     * completion latency (see DESIGN.md, "conservative lookahead").
+     * 0 (the default) selects the legacy single-queue engine,
+     * bit-for-bit the pre-shard simulator. Any value >= 1 selects the
+     * window engine, whose results are byte-identical at every shard
+     * count -- so `--shards 1` is the exactness baseline for
+     * `--shards N`, and N is purely a wall-clock knob.
+     */
+    unsigned shards = 0;
     /** Timed slice-invalidation messages modelled per storm op. */
     unsigned stormMessagesPerOp = 16;
     /** Cycles an IPI pauses each sharer thread. */
@@ -272,7 +288,53 @@ class System : public stats::StatGroup
         System *sys = nullptr;
         std::size_t threadIndex = 0;
 
-        void process() override { sys->step(threadIndex); }
+        void
+        process() override
+        {
+            if (sys->split_)
+                sys->shardStep(threadIndex);
+            else
+                sys->step(threadIndex);
+        }
+    };
+
+    /**
+     * An L1 TLB miss raised during a shard's parallel window, parked
+     * until the window boundary: the organization (shared uncore
+     * state) only runs serially in the drain phase, where the miss is
+     * replayed at its original cycle in canonical (cycle, thread)
+     * order.
+     */
+    struct DeferredMiss
+    {
+        Cycle cycle = 0;
+        std::uint32_t thread = 0;
+        Addr vaddr = 0;
+        /**
+         * True when the issuing shard already resolved the page size
+         * and probed (and counted) the L1 miss; false when the page
+         * table region was unallocated at probe time, which proves the
+         * access misses every L1 array, so the whole access -- probe,
+         * counting and all -- replays at the boundary instead.
+         */
+        bool probed = false;
+    };
+
+    /** A thread resumption produced by a completion during the serial
+     * phase, delivered to the owning shard at the next window start. */
+    struct PendingResume
+    {
+        std::size_t thread;
+        Cycle when;
+    };
+
+    /** Per-shard stat accumulators, folded (summed as integers, then
+     * added once) at every window boundary so the Scalar doubles stay
+     * bit-identical at every shard count. */
+    struct ShardLane
+    {
+        std::uint64_t l1Accesses = 0;
+        std::uint64_t l1Misses = 0;
     };
 
     /** Preload steady-state resident translations (see system.cc). */
@@ -280,6 +342,21 @@ class System : public stats::StatGroup
 
     /** Issue one access for @p thread at the current cycle. */
     void step(std::size_t thread_index);
+
+    /**
+     * Sharded-engine analogue of step(), run on a shard worker during
+     * the parallel window phase: hits execute inline against
+     * shard-owned state only (thread, per-core L1 arrays, per-shard
+     * lanes, read-only page-table peeks); any miss parks the thread in
+     * the deferred-miss mailbox for serial replay.
+     */
+    void shardStep(std::size_t thread_index);
+
+    /** Replay one deferred miss through the organization (serial). */
+    void replayMiss(const DeferredMiss &miss);
+
+    /** Window loop of the sharded engine (replaces queue_.run()). */
+    void driveSharded();
 
     /** Schedule the next step of @p thread at @p when. */
     void scheduleStep(std::size_t thread_index, Cycle when);
@@ -312,8 +389,25 @@ class System : public stats::StatGroup
     std::vector<std::unique_ptr<workload::TraceFile>> traces_;
     /** Capture sink when captureTracePath is set. */
     std::unique_ptr<workload::TraceFile> capture_;
-    unsigned unfinished_ = 0;
+    /** Atomic because shard workers retire threads concurrently; only
+     * read in serial phases, so relaxed ops suffice. */
+    std::atomic<unsigned> unfinished_{0};
     Random rng_;
+
+    // Sharded-engine state (empty/null when config_.shards == 0).
+    /** True when the window engine replaces the legacy single queue. */
+    bool split_ = false;
+    /** One private step-event queue per shard. */
+    std::vector<std::unique_ptr<EventQueue>> shardQueues_;
+    /** Owning shard of each hardware thread (by its core's range). */
+    std::vector<unsigned> shardOfThread_;
+    std::vector<ShardLane> lanes_;
+    std::unique_ptr<sim::ShardMailboxes<DeferredMiss>> deferred_;
+    /** Resumptions emitted by the current serial phase, delivered at
+     * max(when, windowEnd_ + 1) before the next parallel phase. */
+    std::vector<PendingResume> pendingResumes_;
+    /** Inclusive end of the current window (bypass clamp, resume floor). */
+    Cycle windowEnd_ = 0;
 
     stats::Scalar l1Accesses_;
     stats::Scalar l1Misses_;

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Primitives for deterministic sharded execution inside one simulation:
+ * a persistent crew of window workers with a spin barrier (windows are
+ * microseconds; a condition-variable handoff per window would eat the
+ * parallel speedup), and single-writer per-shard mailboxes drained in a
+ * deterministic merge order at window boundaries so results are
+ * independent of thread interleaving.
+ *
+ * Safety model: during a window each worker touches only its own
+ * shard's state (and its own mailbox lane); between windows only the
+ * caller thread runs. The barrier's release/acquire pair on the window
+ * generation publishes each side's writes to the other, so no other
+ * synchronization is needed anywhere in the sharded engine.
+ */
+
+#ifndef NOCSTAR_SIM_SHARD_HH
+#define NOCSTAR_SIM_SHARD_HH
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "sim/parallel.hh"
+
+namespace nocstar::sim
+{
+
+/**
+ * A fixed crew of shard workers reused across every window of a run.
+ * Shard 0 always executes on the calling thread; shards 1..N-1 live as
+ * long-running loops on a ThreadPool, parked in a bounded spin (with
+ * yield backoff) between windows. runWindow(fn) invokes fn(shard) for
+ * every shard concurrently and returns once all have finished.
+ */
+class ShardCrew
+{
+  public:
+    using WindowFn = std::function<void(unsigned shard)>;
+
+    /**
+     * @param parallel run shards 1..N-1 on worker threads. When false
+     * (or N == 1) every shard executes on the caller thread instead --
+     * results are identical by construction (shards touch disjoint
+     * state within a window), so serial mode is the right fallback
+     * when the host has fewer free CPUs than shards: a spin barrier
+     * across oversubscribed workers costs scheduler round-trips per
+     * window instead of buying wall-clock time.
+     */
+    explicit ShardCrew(unsigned shards, bool parallel = true)
+        : shards_(shards), parallel_(parallel && shards > 1)
+    {
+        if (!parallel_)
+            return;
+        pool_ = std::make_unique<ThreadPool>(shards_ - 1);
+        for (unsigned s = 1; s < shards_; ++s)
+            pool_->post([this, s] { workerLoop(s); });
+    }
+
+    ~ShardCrew()
+    {
+        if (parallel_) {
+            stop_.store(true, std::memory_order_release);
+            generation_.fetch_add(1, std::memory_order_release);
+            pool_->drain();
+        }
+    }
+
+    ShardCrew(const ShardCrew &) = delete;
+    ShardCrew &operator=(const ShardCrew &) = delete;
+
+    unsigned shards() const { return shards_; }
+
+    /** Run @p fn once per shard, in parallel; barriers on completion. */
+    void
+    runWindow(const WindowFn &fn)
+    {
+        if (!parallel_) {
+            for (unsigned s = 0; s < shards_; ++s)
+                fn(s);
+            return;
+        }
+        fn_ = &fn;
+        arrived_.store(0, std::memory_order_relaxed);
+        generation_.fetch_add(1, std::memory_order_release);
+        fn(0);
+        unsigned spins = 0;
+        while (arrived_.load(std::memory_order_acquire) != shards_ - 1) {
+            // Yield periodically: on a host with fewer free CPUs than
+            // shards the workers only run when this thread gets off
+            // the core (a pure pause loop here would livelock a
+            // single-CPU machine for the scheduler quantum).
+            if (++spins > 4096) {
+                std::this_thread::yield();
+                spins = 0;
+            } else {
+                backoff();
+            }
+        }
+    }
+
+  private:
+    static void
+    backoff()
+    {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#else
+        std::this_thread::yield();
+#endif
+    }
+
+    void
+    workerLoop(unsigned shard)
+    {
+        std::uint64_t seen = 0;
+        for (;;) {
+            std::uint64_t gen;
+            unsigned spins = 0;
+            while ((gen = generation_.load(std::memory_order_acquire)) ==
+                   seen) {
+                // Spin briefly (a window is typically a few µs away),
+                // then yield so an oversubscribed host still makes
+                // progress.
+                if (++spins > 4096) {
+                    std::this_thread::yield();
+                    spins = 0;
+                } else {
+                    backoff();
+                }
+            }
+            seen = gen;
+            if (stop_.load(std::memory_order_acquire))
+                return;
+            (*fn_)(shard);
+            arrived_.fetch_add(1, std::memory_order_release);
+        }
+    }
+
+    unsigned shards_;
+    bool parallel_;
+    std::unique_ptr<ThreadPool> pool_;
+    const WindowFn *fn_ = nullptr;
+    std::atomic<std::uint64_t> generation_{0};
+    std::atomic<unsigned> arrived_{0};
+    std::atomic<bool> stop_{false};
+};
+
+/**
+ * Per-shard single-writer mailboxes with a deterministic drain order.
+ *
+ * During a window, shard s appends records to lane s only (no locks,
+ * no false sharing on other lanes' vectors beyond the spine). At the
+ * window boundary the caller thread drains all lanes merged by
+ * (key(record), source shard, intra-lane sequence): the key is the
+ * caller's canonical order (e.g. (cycle, thread)), and the (shard,
+ * seq) tiebreak makes even key-ties independent of thread
+ * interleaving, because lane contents depend only on that shard's own
+ * deterministic execution.
+ */
+template <typename T>
+class ShardMailboxes
+{
+  public:
+    explicit ShardMailboxes(unsigned shards) : lanes_(shards) {}
+
+    unsigned lanes() const { return static_cast<unsigned>(lanes_.size()); }
+
+    /** Append a record to @p shard's lane (single writer per lane). */
+    void
+    post(unsigned shard, T record)
+    {
+        lanes_[shard].push_back(std::move(record));
+    }
+
+    bool
+    empty() const
+    {
+        for (const auto &lane : lanes_)
+            if (!lane.empty())
+                return false;
+        return true;
+    }
+
+    /**
+     * Merge every lane into one vector ordered by (@p key, shard, seq)
+     * and clear the lanes. @p key maps a record to any type with
+     * operator< (use a tuple for compound orders).
+     */
+    template <typename KeyFn>
+    std::vector<T>
+    drain(KeyFn key)
+    {
+        struct Tagged
+        {
+            std::size_t shard;
+            std::size_t seq;
+        };
+        std::vector<T> merged;
+        std::vector<Tagged> tags;
+        for (std::size_t s = 0; s < lanes_.size(); ++s) {
+            for (std::size_t i = 0; i < lanes_[s].size(); ++i) {
+                merged.push_back(std::move(lanes_[s][i]));
+                tags.push_back(Tagged{s, i});
+            }
+            lanes_[s].clear();
+        }
+        std::vector<std::size_t> order(merged.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      auto ka = key(merged[a]);
+                      auto kb = key(merged[b]);
+                      if (ka < kb)
+                          return true;
+                      if (kb < ka)
+                          return false;
+                      if (tags[a].shard != tags[b].shard)
+                          return tags[a].shard < tags[b].shard;
+                      return tags[a].seq < tags[b].seq;
+                  });
+        std::vector<T> result;
+        result.reserve(merged.size());
+        for (std::size_t i : order)
+            result.push_back(std::move(merged[i]));
+        return result;
+    }
+
+  private:
+    std::vector<std::vector<T>> lanes_;
+};
+
+} // namespace nocstar::sim
+
+#endif // NOCSTAR_SIM_SHARD_HH
