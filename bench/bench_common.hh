@@ -166,6 +166,14 @@ struct ShardSelection
     /** 0 = legacy single-queue engine; >= 1 = window engine. */
     unsigned shards = 0;
     bool set = false;
+    /**
+     * `--shards auto`: pick the count per configuration from its tile
+     * count, the host's hardware concurrency, and the sweep's resolved
+     * job count (sim::autoShards) instead of a fixed number.
+     */
+    bool autoSelect = false;
+    /** Resolved sweep jobs, recorded for the auto computation. */
+    unsigned jobsHint = 1;
 };
 
 /** The process-wide shard selection (set once at startup). */
@@ -222,7 +230,9 @@ applySelections(const cpu::SystemConfig &config)
     if (faultSelection().configured)
         cfg.org.faults = faultSelection().plan;
     if (shardSelection().set)
-        cfg.shards = shardSelection().shards;
+        cfg.shards = shardSelection().autoSelect
+            ? sim::autoShards(cfg.org.numCores, shardSelection().jobsHint)
+            : shardSelection().shards;
     return cfg;
 }
 
@@ -318,6 +328,11 @@ addStandardBenchOptions(ArgParser &parser, BenchArgs &args)
         "shards",
         [](const std::string &value) {
             ShardSelection &sel = shardSelection();
+            if (value == "auto") {
+                sel.autoSelect = true;
+                sel.set = true;
+                return true;
+            }
             std::uint64_t n = 0;
             if (!parseUnsigned(value, n))
                 return false;
@@ -333,7 +348,8 @@ addStandardBenchOptions(ArgParser &parser, BenchArgs &args)
             return true;
         },
         "run every simulation on N parallel shards (window engine; "
-        "results are byte-identical at every N)",
+        "results are byte-identical at every N), or 'auto' to pick N "
+        "from the tile count, host cores and sweep jobs",
         "N");
     parser.option(
         "fault-seed",
@@ -401,9 +417,17 @@ finalizeBenchArgs(ArgParser &parser, int argc, char **argv,
     faults.configured = faults.planLoaded;
     if (args.jobs == 0)
         args.jobs = sim::defaultJobs();
-    if (shardSelection().set)
-        args.jobs = clampJobsForShards(args.jobs,
-                                       shardSelection().shards);
+    if (shardSelection().set) {
+        if (shardSelection().autoSelect)
+            // Auto divides the hardware budget by the resolved job
+            // count per configuration instead of clamping jobs: the
+            // sweep keeps its workers and each run shards into the
+            // leftover threads.
+            shardSelection().jobsHint = args.jobs;
+        else
+            args.jobs = clampJobsForShards(args.jobs,
+                                           shardSelection().shards);
+    }
     return args;
 }
 

@@ -21,6 +21,7 @@
 #include "bench/arg_parser.hh"
 #include "cpu/system.hh"
 #include "sim/fault.hh"
+#include "sim/parallel.hh"
 
 using namespace nocstar;
 
@@ -64,6 +65,7 @@ main(int argc, char **argv)
     bool no_superpages = false;
     bool storm = false;
     bool dump_stats = false;
+    bool shards_auto = false;
 
     bench::ArgParser parser(
         "simulate",
@@ -120,7 +122,11 @@ main(int argc, char **argv)
     parser.option("seed", &config.seed, "random seed (default 1)");
     parser.option(
         "shards",
-        [&config](const std::string &value) {
+        [&config, &shards_auto](const std::string &value) {
+            if (value == "auto") {
+                shards_auto = true;
+                return true;
+            }
             std::uint64_t n = 0;
             if (!bench::parseUnsigned(value, n) || n < 1)
                 return false;
@@ -128,7 +134,8 @@ main(int argc, char **argv)
             return true;
         },
         "run on N >= 1 parallel shards (window engine; byte-identical "
-        "results at every N)", "N");
+        "results at every N), or 'auto' to pick N from the core count "
+        "and host hardware", "N");
     parser.option(
         "hotspot",
         [&config](const std::string &value) {
@@ -169,6 +176,11 @@ main(int argc, char **argv)
         config.contextSwitchInterval = 50000;
         config.stormRemapInterval = 5000;
     }
+
+    if (shards_auto)
+        // Resolved after --cores is known; a single run has no sweep
+        // jobs competing for the hardware budget.
+        config.shards = sim::autoShards(config.org.numCores);
 
     config.org.banks = config.org.numCores >= 64 ? 8 : 4;
     cpu::AppConfig app{workload::findWorkload(workload_name),

@@ -99,7 +99,7 @@ DistributedOrg::translate(CoreId core, ContextId ctx, Addr vaddr,
         ctx_.energy->addL2Message(energy::NocStyle::DistributedMesh,
                                   hops, array.numEntries());
 
-    const tlb::TlbEntry *hit = array.lookupAnySize(ctx, vaddr);
+    const tlb::TlbEntry *hit = homeProbe(array, ctx, vaddr);
     if (hit && eccCorrupted()) {
         // The entry read back corrupt: drop it and take the miss path.
         ++sliceEccRewalks;

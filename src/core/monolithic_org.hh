@@ -68,6 +68,26 @@ class MonolithicOrg : public TlbOrganization
 
     tlb::SetAssocTlb &bankArray(unsigned bank) { return *banks_.at(bank); }
 
+    // Sharded pre-probe support: one home array per bank. Banks are
+    // fewer than tiles, so some shards may own none.
+    unsigned numHomeArrays() const override { return config_.banks; }
+
+    unsigned
+    homeArrayOf(CoreId core, Addr vaddr) const override
+    {
+        (void)core;
+        return bankOf(vaddr);
+    }
+
+    ProbeResult
+    probeHomeArray(CoreId core, ContextId ctx, Addr vaddr) override
+    {
+        (void)core;
+        const tlb::TlbEntry *hit =
+            banks_[bankOf(vaddr)]->lookupAnySize(ctx, vaddr);
+        return hit ? ProbeResult{true, *hit} : ProbeResult{};
+    }
+
     Cycle bankLatency() const { return bankLatency_; }
 
   private:

@@ -61,6 +61,25 @@ class NocstarOrg : public TlbOrganization
         return *slices_.at(slice);
     }
 
+    // Sharded pre-probe support: one home array per slice tile.
+    unsigned numHomeArrays() const override { return config_.numCores; }
+
+    unsigned
+    homeArrayOf(CoreId core, Addr vaddr) const override
+    {
+        (void)core;
+        return static_cast<unsigned>(sliceOf(vaddr));
+    }
+
+    ProbeResult
+    probeHomeArray(CoreId core, ContextId ctx, Addr vaddr) override
+    {
+        (void)core;
+        const tlb::TlbEntry *hit =
+            slices_[sliceOf(vaddr)]->lookupAnySize(ctx, vaddr);
+        return hit ? ProbeResult{true, *hit} : ProbeResult{};
+    }
+
     NocstarFabric &fabric() { return *fabric_; }
 
     Cycle sliceLatency() const { return sliceLatency_; }

@@ -48,6 +48,24 @@ class PrivateOrg : public TlbOrganization
     /** Direct array access for tests. */
     tlb::SetAssocTlb &arrayOf(CoreId core) { return *arrays_.at(core); }
 
+    // Sharded pre-probe support: one home array per core, the
+    // requester's own.
+    unsigned numHomeArrays() const override { return config_.numCores; }
+
+    unsigned
+    homeArrayOf(CoreId core, Addr vaddr) const override
+    {
+        (void)vaddr;
+        return static_cast<unsigned>(core);
+    }
+
+    ProbeResult
+    probeHomeArray(CoreId core, ContextId ctx, Addr vaddr) override
+    {
+        const tlb::TlbEntry *hit = arrays_[core]->lookupAnySize(ctx, vaddr);
+        return hit ? ProbeResult{true, *hit} : ProbeResult{};
+    }
+
     /** Fixed cost of a private-TLB shootdown (IPI + local inval). */
     static constexpr Cycle shootdownLatency = 50;
 

@@ -6,6 +6,7 @@
 #include "cpu/system.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <sstream>
@@ -402,7 +403,7 @@ System::shardStep(std::size_t thread_index)
 }
 
 void
-System::replayMiss(const DeferredMiss &miss)
+System::replayMiss(const DeferredMiss &miss, const core::ProbeResult *probe)
 {
     auto thread_index = static_cast<std::size_t>(miss.thread);
     HwThread &thread = threads_[thread_index];
@@ -423,8 +424,7 @@ System::replayMiss(const DeferredMiss &miss)
 
     TRACE(System, "thread ", thread_index, " core ", thread.core,
           " L1 miss vaddr 0x", std::hex, vaddr, std::dec);
-    org_->translate(
-        thread.core, thread.ctx, vaddr, now,
+    core::TranslationDone done =
         [this, thread_index, vaddr,
          now](const core::TranslationResult &result) {
             HwThread &th = threads_[thread_index];
@@ -441,27 +441,91 @@ System::replayMiss(const DeferredMiss &miss)
                                     queue_.curCycle());
             pendingResumes_.push_back(
                 PendingResume{thread_index, resume + burstCycles(th)});
-        });
+        };
+    if (probe)
+        org_->translateWithProbe(thread.core, thread.ctx, vaddr, now,
+                                 std::move(done), *probe);
+    else
+        org_->translate(thread.core, thread.ctx, vaddr, now,
+                        std::move(done));
 }
+
+namespace
+{
+
+std::uint64_t
+nanosSince(std::chrono::steady_clock::time_point t0)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+}
+
+} // namespace
 
 void
 System::driveSharded()
 {
+    using clock = std::chrono::steady_clock;
+
     // Conservative lookahead: no organization completion for a miss
     // issued at cycle c can land before c + lead, so a window covering
     // [T, T + lead - 1] can run every shard's step events in parallel
     // without observing any serial-phase effect out of order (proof in
-    // DESIGN.md, "conservative lookahead").
-    const Cycle lead = std::max<Cycle>(1, org_->minCompletionLead());
+    // DESIGN.md, "conservative lookahead"). The cross-shard bound
+    // minUncoreLead() (earliest home-array mutation) can only be
+    // longer; taking the min keeps the window length provably safe for
+    // both phases without ever shrinking it in practice.
+    const Cycle lead = std::max<Cycle>(
+        1, std::min(org_->minCompletionLead(), org_->minUncoreLead()));
     const auto shards = static_cast<unsigned>(shardQueues_.size());
     // Worker threads only pay off when each shard can own a CPU; on a
     // smaller host the crew runs the (identical) windows serially.
     sim::ShardCrew crew(shards,
                         std::thread::hardware_concurrency() >= shards);
     sim::ShardCrew::WindowFn window_fn = [this](unsigned shard) {
+        auto t0 = clock::now();
         EventQueue &q = *shardQueues_[shard];
         if (!q.empty() && q.nextEventCycle() <= windowEnd_)
             q.run(windowEnd_);
+        lanes_[shard].stepNanos += nanosSince(t0);
+    };
+
+    // Parallel pre-probe (phase B1): the home-array lookups of this
+    // window's deferred misses run on the shard crew, each array
+    // owned by exactly one shard, before the serial phase replays
+    // them. Safe only when no home array can be mutated inside the
+    // window (minUncoreLead() > lead puts every walk fill / prefetch
+    // insert beyond the window end; main-queue events -- storms,
+    // shootdowns, earlier windows' fills -- sit at >= the window end
+    // by construction of E) and when no global ECC draw stream could
+    // observe the probe order. Misses at exactly the window end still
+    // probe live at replay: a same-cycle fill from an earlier window
+    // may be ordered ahead of them on the main queue.
+    const bool pre_probe_ok = org_->numHomeArrays() > 0 &&
+                              org_->minUncoreLead() > lead &&
+                              config_.org.faults.sliceEccProb <= 0;
+    if (pre_probe_ok && shardOfArray_.empty()) {
+        const std::uint64_t arrays = org_->numHomeArrays();
+        shardOfArray_.reserve(arrays);
+        for (std::uint64_t a = 0; a < arrays; ++a)
+            shardOfArray_.push_back(
+                static_cast<unsigned>(a * shards / arrays));
+    }
+    probePlan_.assign(shards, {});
+    sim::ShardCrew::WindowFn probe_fn = [this](unsigned shard) {
+        auto t0 = clock::now();
+        ShardLane &lane = lanes_[shard];
+        for (std::uint32_t i : probePlan_[shard]) {
+            const DeferredMiss &miss = replayBatch_[i];
+            const HwThread &thread = threads_[miss.thread];
+            probeResults_[i] = org_->probeHomeArray(
+                thread.core, thread.ctx, miss.vaddr);
+            probeTaken_[i] = 1;
+            ++lane.probes;
+        }
+        lane.probeNanos += nanosSince(t0);
     };
 
     for (;;) {
@@ -486,11 +550,25 @@ System::driveSharded()
             ? uncore
             : std::min(uncore, steps + lead - 1);
         windowEnd_ = end;
+        ++timing_.windows;
 
         // Phase A: every shard runs its own step events through the
         // window, in parallel, touching shard-owned state only.
-        if (steps <= end)
+        if (steps <= end) {
+            auto wall0 = clock::now();
+            std::uint64_t own0 = lanes_[0].stepNanos;
             crew.runWindow(window_fn);
+            std::uint64_t wall = nanosSince(wall0);
+            timing_.stepWallNanos += wall;
+            // Barrier wait = caller wall time beyond its own shard-0
+            // work; only meaningful when other shards ran elsewhere.
+            if (crew.parallel()) {
+                std::uint64_t own = lanes_[0].stepNanos - own0;
+                timing_.barrierNanos += wall > own ? wall - own : 0;
+            }
+        }
+
+        auto drain0 = clock::now();
 
         // Fold the shard lanes: integer sums first, one Scalar add
         // each, so the accumulated doubles are bit-identical at every
@@ -499,7 +577,8 @@ System::driveSharded()
         for (ShardLane &lane : lanes_) {
             accesses += lane.l1Accesses;
             misses += lane.l1Misses;
-            lane = ShardLane{};
+            lane.l1Accesses = 0;
+            lane.l1Misses = 0;
         }
         l1Accesses_ += static_cast<double>(accesses);
         l1Misses_ += static_cast<double>(misses);
@@ -510,18 +589,77 @@ System::driveSharded()
         // and inject each at its original cycle, ahead of the clock
         // because every miss cycle lies in the current window.
         if (!deferred_->empty()) {
-            for (const DeferredMiss &miss :
-                 deferred_->drain([](const DeferredMiss &m) {
-                     return std::make_pair(m.cycle, m.thread);
-                 }))
-                queue_.scheduleLambda(
-                    miss.cycle, [this, miss] { replayMiss(miss); });
+            replayBatch_ = deferred_->drain([](const DeferredMiss &m) {
+                return std::make_pair(m.cycle, m.thread);
+            });
+            timing_.deferredMisses += replayBatch_.size();
+            probeResults_.assign(replayBatch_.size(), {});
+            probeTaken_.assign(replayBatch_.size(), 0);
+
+            // Phase B1: partition the eligible probes by home array
+            // (each shard's list stays in canonical order because the
+            // batch is sorted) and run them on the crew.
+            if (pre_probe_ok) {
+                bool any = false;
+                for (std::uint32_t i = 0;
+                     i < static_cast<std::uint32_t>(replayBatch_.size());
+                     ++i) {
+                    const DeferredMiss &miss = replayBatch_[i];
+                    if (!miss.probed || miss.cycle >= end)
+                        continue;
+                    const HwThread &thread = threads_[miss.thread];
+                    unsigned array =
+                        org_->homeArrayOf(thread.core, miss.vaddr);
+                    probePlan_[shardOfArray_[array]].push_back(i);
+                    any = true;
+                }
+                if (any) {
+                    auto wall0 = clock::now();
+                    std::uint64_t own0 = lanes_[0].probeNanos;
+                    crew.runWindow(probe_fn);
+                    std::uint64_t wall = nanosSince(wall0);
+                    timing_.probeWallNanos += wall;
+                    if (crew.parallel()) {
+                        std::uint64_t own = lanes_[0].probeNanos - own0;
+                        timing_.barrierNanos +=
+                            wall > own ? wall - own : 0;
+                    }
+                    for (auto &plan : probePlan_)
+                        plan.clear();
+                }
+            }
+
+            for (std::uint32_t i = 0;
+                 i < static_cast<std::uint32_t>(replayBatch_.size());
+                 ++i) {
+                const DeferredMiss miss = replayBatch_[i];
+                if (probeTaken_[i]) {
+                    const core::ProbeResult probe = probeResults_[i];
+                    queue_.scheduleLambda(
+                        miss.cycle, [this, miss, probe] {
+                            replayMiss(miss, &probe);
+                        });
+                } else {
+                    queue_.scheduleLambda(
+                        miss.cycle, [this, miss] { replayMiss(miss); });
+                }
+            }
         }
+        timing_.drainNanos += nanosSince(drain0);
 
         // Phase B: the uncore (organization, fabric, walkers, caches,
         // storm / context-switch / epoch machinery) runs serially
         // through the same window.
+        auto uncore0 = clock::now();
         queue_.run(end);
+        timing_.uncoreNanos += nanosSince(uncore0);
+    }
+
+    for (ShardLane &lane : lanes_) {
+        timing_.stepBusyNanos += lane.stepNanos;
+        timing_.probeBusyNanos += lane.probeNanos;
+        timing_.preProbes += lane.probes;
+        lane = ShardLane{};
     }
 }
 

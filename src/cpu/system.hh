@@ -239,6 +239,41 @@ class System : public stats::StatGroup
     }
 
     /**
+     * Wall-clock split of the sharded engine's run loop (all zero on
+     * the legacy engine), for the Amdahl accounting in
+     * BENCH_shard.json: where does a sharded run actually spend host
+     * time? Busy counters are summed across shard workers, so they
+     * can exceed the wall counters on a parallel crew; barrierNanos
+     * is the caller thread's wait after finishing its own shard-0
+     * work, i.e. the price of load imbalance.
+     */
+    struct ShardTiming
+    {
+        /** Window-loop iterations. */
+        std::uint64_t windows = 0;
+        /** Phase A wall time (caller side of crew barriers). */
+        std::uint64_t stepWallNanos = 0;
+        /** Phase A per-shard busy time, summed over shards. */
+        std::uint64_t stepBusyNanos = 0;
+        /** Parallel pre-probe wall time. */
+        std::uint64_t probeWallNanos = 0;
+        /** Pre-probe per-shard busy time, summed over shards. */
+        std::uint64_t probeBusyNanos = 0;
+        /** Caller wait at barriers beyond its own shard-0 work. */
+        std::uint64_t barrierNanos = 0;
+        /** Mailbox drain + replay injection + lane folds. */
+        std::uint64_t drainNanos = 0;
+        /** Serial phase B (main-queue uncore) wall time. */
+        std::uint64_t uncoreNanos = 0;
+        /** Misses whose home-array probe ran on the shard crew. */
+        std::uint64_t preProbes = 0;
+        /** Misses deferred to window boundaries in total. */
+        std::uint64_t deferredMisses = 0;
+    };
+
+    const ShardTiming &shardTiming() const { return timing_; }
+
+    /**
      * Write the machine-readable stats document for this system as a
      * single JSON object: `{"epochs":[...],"final":{<stats tree>}}`.
      * Epoch entries are `{"epoch":k,"cycle":c,"stats":{...}}`.
@@ -330,11 +365,19 @@ class System : public stats::StatGroup
 
     /** Per-shard stat accumulators, folded (summed as integers, then
      * added once) at every window boundary so the Scalar doubles stay
-     * bit-identical at every shard count. */
+     * bit-identical at every shard count. The wall-clock fields are
+     * host telemetry, not simulation state: they accumulate across
+     * the whole run and never feed back into results. */
     struct ShardLane
     {
         std::uint64_t l1Accesses = 0;
         std::uint64_t l1Misses = 0;
+        /** Busy nanoseconds running this shard's phase A windows. */
+        std::uint64_t stepNanos = 0;
+        /** Busy nanoseconds running this shard's pre-probe lists. */
+        std::uint64_t probeNanos = 0;
+        /** Pre-probes this shard executed. */
+        std::uint64_t probes = 0;
     };
 
     /** Preload steady-state resident translations (see system.cc). */
@@ -352,8 +395,13 @@ class System : public stats::StatGroup
      */
     void shardStep(std::size_t thread_index);
 
-    /** Replay one deferred miss through the organization (serial). */
-    void replayMiss(const DeferredMiss &miss);
+    /**
+     * Replay one deferred miss through the organization (serial).
+     * @param probe the home-array probe result the shard crew took in
+     * the parallel pre-probe phase, or nullptr to probe live.
+     */
+    void replayMiss(const DeferredMiss &miss,
+                    const core::ProbeResult *probe = nullptr);
 
     /** Window loop of the sharded engine (replaces queue_.run()). */
     void driveSharded();
@@ -408,6 +456,19 @@ class System : public stats::StatGroup
     std::vector<PendingResume> pendingResumes_;
     /** Inclusive end of the current window (bypass clamp, resume floor). */
     Cycle windowEnd_ = 0;
+    /** Owning shard of each home array (contiguous index ranges). */
+    std::vector<unsigned> shardOfArray_;
+    /** This window's deferred misses in canonical (cycle, thread)
+     * order; indices below are into this vector. */
+    std::vector<DeferredMiss> replayBatch_;
+    /** Pre-probe outcome per batch entry (valid iff probeTaken_). */
+    std::vector<core::ProbeResult> probeResults_;
+    std::vector<std::uint8_t> probeTaken_;
+    /** Per-shard worklists of batch indices, each shard's in
+     * canonical order (the batch itself is sorted). */
+    std::vector<std::vector<std::uint32_t>> probePlan_;
+    /** Wall-clock split of the window loop (see ShardTiming). */
+    ShardTiming timing_;
 
     stats::Scalar l1Accesses_;
     stats::Scalar l1Misses_;

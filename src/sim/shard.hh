@@ -3,9 +3,10 @@
  * Primitives for deterministic sharded execution inside one simulation:
  * a persistent crew of window workers with a spin barrier (windows are
  * microseconds; a condition-variable handoff per window would eat the
- * parallel speedup), and single-writer per-shard mailboxes drained in a
- * deterministic merge order at window boundaries so results are
- * independent of thread interleaving.
+ * parallel speedup) that parks idle workers on a condition variable
+ * when a window is slow to arrive, and single-writer per-shard
+ * mailboxes drained in a deterministic merge order at window
+ * boundaries so results are independent of thread interleaving.
  *
  * Safety model: during a window each worker touches only its own
  * shard's state (and its own mailbox lane); between windows only the
@@ -19,9 +20,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -65,7 +68,8 @@ class ShardCrew
     {
         if (parallel_) {
             stop_.store(true, std::memory_order_release);
-            generation_.fetch_add(1, std::memory_order_release);
+            generation_.fetch_add(1); // seq_cst, see wakeSleepers()
+            wakeSleepers();
             pool_->drain();
         }
     }
@@ -74,6 +78,9 @@ class ShardCrew
     ShardCrew &operator=(const ShardCrew &) = delete;
 
     unsigned shards() const { return shards_; }
+
+    /** True when shards 1..N-1 run on worker threads. */
+    bool parallel() const { return parallel_; }
 
     /** Run @p fn once per shard, in parallel; barriers on completion. */
     void
@@ -86,7 +93,8 @@ class ShardCrew
         }
         fn_ = &fn;
         arrived_.store(0, std::memory_order_relaxed);
-        generation_.fetch_add(1, std::memory_order_release);
+        generation_.fetch_add(1); // seq_cst, see wakeSleepers()
+        wakeSleepers();
         fn(0);
         unsigned spins = 0;
         while (arrived_.load(std::memory_order_acquire) != shards_ - 1) {
@@ -114,21 +122,67 @@ class ShardCrew
 #endif
     }
 
+    /**
+     * Wake any workers parked on the condvar. Skipping the notify when
+     * sleepers_ reads 0 is safe because every operation involved is
+     * seq_cst: a worker orders sleepers_++ before its under-lock
+     * generation check, and the signaler orders the generation bump
+     * before this sleepers_ load. If a parked worker's check missed
+     * the new generation, that check preceded the bump in the single
+     * total order, so its earlier increment is visible here and the
+     * notify is taken; conversely a worker that increments after this
+     * load re-checks the generation under the lock and sees the bump,
+     * so it never blocks on a signal that already fired.
+     */
+    void
+    wakeSleepers()
+    {
+        if (sleepers_.load() == 0)
+            return;
+        {
+            // Empty critical section: a worker between its generation
+            // check and the actual block holds the mutex, so this
+            // cannot slip into that gap.
+            std::lock_guard<std::mutex> lock(parkMutex_);
+        }
+        parked_.notify_all();
+    }
+
     void
     workerLoop(unsigned shard)
     {
+        // Spin-then-yield-then-park: the spin catches back-to-back
+        // windows (typically a few µs apart), the yields cover a long
+        // serial phase on a busy host, and the condvar park stops an
+        // idle shard worker from burning a core when windows stop
+        // arriving altogether (end of run, long serial uncore phase,
+        // caller blocked elsewhere).
+        static constexpr unsigned spinsPerYield = 4096;
+        static constexpr unsigned yieldsBeforePark = 64;
         std::uint64_t seen = 0;
         for (;;) {
             std::uint64_t gen;
             unsigned spins = 0;
+            unsigned yields = 0;
             while ((gen = generation_.load(std::memory_order_acquire)) ==
                    seen) {
-                // Spin briefly (a window is typically a few µs away),
-                // then yield so an oversubscribed host still makes
-                // progress.
-                if (++spins > 4096) {
+                if (yields >= yieldsBeforePark) {
+                    sleepers_.fetch_add(1); // seq_cst, see wakeSleepers()
+                    {
+                        std::unique_lock<std::mutex> lock(parkMutex_);
+                        parked_.wait(lock, [&] {
+                            return generation_.load() != seen;
+                        });
+                    }
+                    sleepers_.fetch_sub(1);
+                    continue;
+                }
+                if (++spins > spinsPerYield) {
+                    // Yield so an oversubscribed host still makes
+                    // progress before the park threshold.
                     std::this_thread::yield();
                     spins = 0;
+                    ++yields;
                 } else {
                     backoff();
                 }
@@ -148,6 +202,9 @@ class ShardCrew
     std::atomic<std::uint64_t> generation_{0};
     std::atomic<unsigned> arrived_{0};
     std::atomic<bool> stop_{false};
+    std::atomic<unsigned> sleepers_{0};
+    std::mutex parkMutex_;
+    std::condition_variable parked_;
 };
 
 /**

@@ -10,13 +10,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <vector>
 
 #include "cpu/system.hh"
 #include "sim/fault.hh"
+#include "sim/parallel.hh"
 #include "sim/shard.hh"
 
 using namespace nocstar;
@@ -370,4 +373,198 @@ TEST(ShardConfig, ValidationRejectsBadShardCounts)
     EXPECT_FALSE(config.validate().empty());
     config.shards = 0;
     EXPECT_TRUE(config.validate().empty());
+}
+
+// --------------------------------------------------------------------
+// Uncore sharding (the parallel pre-probe phase): the deferred-miss
+// drain order, eligibility gating, and identity on workloads where the
+// uncore dominates.
+
+namespace
+{
+
+/**
+ * A workload whose hot set blows out the 64-entry L1 arrays: most
+ * accesses defer to the window boundary and replay through the
+ * organization, so the parallel pre-probe phase carries real load.
+ */
+workload::WorkloadSpec
+missHeavySpec()
+{
+    workload::WorkloadSpec spec = workload::testWorkload();
+    spec.hotPages = 2048;
+    spec.warmFraction = 0.2;
+    spec.coldFraction = 0.01;
+    return spec;
+}
+
+} // namespace
+
+TEST(ShardMailboxes, DrainsByCycleSourceSeq)
+{
+    // The uncore drain order the engine relies on: primary key the
+    // record's cycle, then the posting shard (the "source"), then the
+    // intra-lane sequence. Same-cycle records from different shards
+    // must interleave by shard index, not arrival time.
+    sim::ShardMailboxes<Rec> boxes(3);
+    boxes.post(2, Rec{7, 0, 1}); // cycle 7 from shard 2, posted first
+    boxes.post(0, Rec{7, 0, 2}); // cycle 7 from shard 0: drains first
+    boxes.post(1, Rec{7, 0, 3});
+    boxes.post(1, Rec{7, 0, 4}); // same shard: seq order preserved
+    boxes.post(0, Rec{6, 0, 5}); // earlier cycle beats every shard
+
+    std::vector<Rec> merged =
+        boxes.drain([](const Rec &r) { return r.cycle; });
+    ASSERT_EQ(merged.size(), 5u);
+    EXPECT_EQ(merged[0].payload, 5);
+    EXPECT_EQ(merged[1].payload, 2);
+    EXPECT_EQ(merged[2].payload, 3);
+    EXPECT_EQ(merged[3].payload, 4);
+    EXPECT_EQ(merged[4].payload, 1);
+}
+
+TEST(ShardIdentity, MissHeavyInvariantAcrossOrgsAndShardCounts)
+{
+    // The headline bar for uncore sharding: on a workload where nearly
+    // every access replays through the organization (so the pre-probe
+    // phase handles the bulk of the home-array lookups), every shard
+    // count must produce the same bytes.
+    for (core::OrgKind kind :
+         {core::OrgKind::Private, core::OrgKind::MonolithicMesh,
+          core::OrgKind::Distributed, core::OrgKind::Nocstar}) {
+        SystemConfig config = smallConfig(kind);
+        config.apps[0].spec = missHeavySpec();
+        expectShardCountInvariant(
+            config, 1500,
+            std::string(core::orgKindName(kind)) + " miss-heavy");
+    }
+}
+
+TEST(ShardIdentity, PrivateOrgMatchesLegacyEngine)
+{
+    // Where the window engine provably agrees with the legacy
+    // single-queue engine: organizations with no same-cycle
+    // cross-thread contention point. Private L2s have per-core arrays,
+    // ports and walkers, so the engines' different same-cycle service
+    // orders (legacy: event insertion order; windowed: canonical
+    // (cycle, thread)) act on disjoint state and the results coincide
+    // -- even miss-heavy. Shared-structure organizations diverge from
+    // legacy by design (bank-port and fabric-arbitration service
+    // order); see DESIGN.md "canonical service order vs the legacy
+    // engine".
+    SystemConfig config = smallConfig(core::OrgKind::Private);
+    config.apps[0].spec = missHeavySpec();
+    SystemConfig legacy = config;
+    legacy.shards = 0;
+    RunResult baseline = System(legacy).run(1500);
+    for (unsigned shards : {1u, 2u, 4u}) {
+        SystemConfig cfg = config;
+        cfg.shards = shards;
+        RunResult r = System(cfg).run(1500);
+        expectIdentical(baseline, r,
+                        "private legacy vs shards=" +
+                            std::to_string(shards));
+    }
+}
+
+TEST(ShardIdentity, SliceEccPlanDisablesPreProbeButStaysInvariant)
+{
+    // A slice-ECC probability makes hit outcomes depend on a global
+    // draw stream consumed in probe order, so the engine must fall
+    // back to live replay-time probes -- and still be shard-count
+    // invariant.
+    SystemConfig config = smallConfig(core::OrgKind::Nocstar);
+    config.apps[0].spec = missHeavySpec();
+    std::istringstream plan("slice-ecc 0.01\nseed 11\n");
+    config.org.faults = sim::FaultPlan::parse(plan, "test");
+    expectShardCountInvariant(config, 1500, "slice-ecc fallback");
+}
+
+TEST(ShardIdentity, MissHeavyWithStormAndSmt)
+{
+    // Storm shootdowns + context switches mutate home arrays from
+    // main-queue events while SMT threads share cores: the pre-probe
+    // eligibility rules (window-interior, already-probed misses only)
+    // must hold the identity gate under all of it.
+    SystemConfig config = smallConfig(core::OrgKind::Distributed);
+    config.apps[0].spec = missHeavySpec();
+    config.smtPerCore = 2;
+    config.apps[0].threads = 16;
+    config.contextSwitchInterval = 20000;
+    config.stormRemapInterval = 3000;
+    SystemConfig one = config;
+    one.shards = 1;
+    RunResult baseline = System(one).run(1200);
+    for (unsigned shards : {3u, 4u}) {
+        SystemConfig cfg = config;
+        cfg.shards = shards;
+        RunResult r = System(cfg).run(1200);
+        expectIdentical(baseline, r,
+                        "storm+smt shards=1 vs shards=" +
+                            std::to_string(shards));
+    }
+}
+
+TEST(ShardTiming, WindowLoopCountersAccumulate)
+{
+    SystemConfig config = smallConfig(core::OrgKind::Nocstar);
+    config.apps[0].spec = missHeavySpec();
+    config.shards = 4;
+    System system(config);
+    system.run(1500);
+    const System::ShardTiming &t = system.shardTiming();
+    EXPECT_GT(t.windows, 0u);
+    EXPECT_GT(t.deferredMisses, 0u);
+    // Miss-heavy without a fault plan: most deferred misses are
+    // eligible for the parallel pre-probe.
+    EXPECT_GT(t.preProbes, 0u);
+    EXPECT_LE(t.preProbes, t.deferredMisses);
+    EXPECT_GT(t.uncoreNanos, 0u);
+}
+
+TEST(ShardTiming, EccPlanDisablesPreProbes)
+{
+    SystemConfig config = smallConfig(core::OrgKind::Nocstar);
+    config.apps[0].spec = missHeavySpec();
+    config.shards = 2;
+    std::istringstream plan("slice-ecc 0.01\nseed 11\n");
+    config.org.faults = sim::FaultPlan::parse(plan, "test");
+    System system(config);
+    system.run(1000);
+    EXPECT_EQ(system.shardTiming().preProbes, 0u);
+    EXPECT_GT(system.shardTiming().deferredMisses, 0u);
+}
+
+TEST(ShardCrew, ParksIdleWorkersAndWakesForTheNextWindow)
+{
+    // Long gaps between windows must not wedge the crew: workers fall
+    // back from spinning to a condvar park, and the next runWindow()
+    // (and the destructor) must wake them reliably.
+    sim::ShardCrew crew(3, true);
+    std::vector<std::uint64_t> ran(3, 0);
+    auto window = [&](unsigned shard) { ++ran[shard]; };
+    crew.runWindow(window);
+    // Far beyond the spin + yield budget: workers are parked by now.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    crew.runWindow(window);
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    crew.runWindow(window);
+    for (unsigned s = 0; s < 3; ++s)
+        EXPECT_EQ(ran[s], 3u) << "shard " << s;
+}
+
+TEST(AutoShards, DeterministicFromTilesAndBudget)
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    // Never exceeds the tile count or the per-job hardware budget,
+    // never below 1.
+    EXPECT_EQ(sim::autoShards(1), 1u);
+    EXPECT_LE(sim::autoShards(64), std::max(1u, hw));
+    EXPECT_LE(sim::autoShards(64, 2), std::max(1u, hw / 2));
+    EXPECT_GE(sim::autoShards(64, 1000000), 1u);
+    EXPECT_EQ(sim::autoShards(1000000), std::max(1u, hw));
+    // Deterministic on a fixed host.
+    EXPECT_EQ(sim::autoShards(64, 2), sim::autoShards(64, 2));
 }
