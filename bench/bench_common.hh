@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <ostream>
 #include <string>
 #include <thread>
@@ -113,12 +114,21 @@ struct Observability
     Cycle epoch = 0;
     /** --epoch-reset: epoch snapshots are deltas, not totals. */
     bool epochReset = false;
+    /** --lat-hist: per-class translation-latency histograms. */
+    bool latHist = false;
+    /** --lat-hist=ctx: additionally split by workload context. */
+    bool latPerCtx = false;
+    /** --counters N: Perfetto counter-track samples every N cycles. */
+    Cycle counterInterval = 0;
+    /** --progress[=S]: heartbeat period in seconds; < 0 = off. */
+    double progressSeconds = -1.0;
 
     bool
     any() const
     {
         return trace || !traceOut.empty() || !statsJson.empty() ||
-               epoch != 0;
+               epoch != 0 || latHist || counterInterval != 0 ||
+               progressSeconds >= 0;
     }
 };
 
@@ -227,6 +237,10 @@ applySelections(const cpu::SystemConfig &config)
     cfg.statsEpochInterval = obs.epoch;
     cfg.statsEpochReset = obs.epochReset;
     cfg.statsJsonPath = obs.statsJson;
+    cfg.latencyStats = obs.latHist;
+    cfg.latencyPerContext = obs.latPerCtx;
+    cfg.counterInterval = obs.counterInterval;
+    cfg.progressSeconds = obs.progressSeconds;
     if (faultSelection().configured)
         cfg.org.faults = faultSelection().plan;
     if (shardSelection().set)
@@ -234,6 +248,25 @@ applySelections(const cpu::SystemConfig &config)
             ? sim::autoShards(cfg.org.numCores, shardSelection().jobsHint)
             : shardSelection().shards;
     return cfg;
+}
+
+/**
+ * Validate and run a configuration that already has the command-line
+ * selections applied (SweepHarness pre-applies them so it can redirect
+ * each simulation's stats stream when the sweep is parallel).
+ */
+inline cpu::RunResult
+runApplied(const cpu::SystemConfig &cfg,
+           std::uint64_t accesses = defaultAccesses)
+{
+    if (std::vector<std::string> errors = cfg.validate();
+        !errors.empty()) {
+        for (const std::string &e : errors)
+            std::fprintf(stderr, "invalid config: %s\n", e.c_str());
+        std::exit(2);
+    }
+    cpu::System system(cfg);
+    return system.run(accesses);
 }
 
 /**
@@ -245,15 +278,7 @@ inline cpu::RunResult
 runOnce(const cpu::SystemConfig &config,
         std::uint64_t accesses = defaultAccesses)
 {
-    cpu::SystemConfig cfg = applySelections(config);
-    if (std::vector<std::string> errors = cfg.validate();
-        !errors.empty()) {
-        for (const std::string &e : errors)
-            std::fprintf(stderr, "invalid config: %s\n", e.c_str());
-        std::exit(2);
-    }
-    cpu::System system(cfg);
-    return system.run(accesses);
+    return runApplied(applySelections(config), accesses);
 }
 
 /** One simulation of a sweep: a configuration plus its run length. */
@@ -311,6 +336,47 @@ addStandardBenchOptions(ArgParser &parser, BenchArgs &args)
                   "snapshot the stats tree every N cycles");
     parser.flag("epoch-reset", &observability().epochReset,
                 "epoch snapshots are per-interval deltas, not totals");
+    parser.optionalValue(
+        "lat-hist", [] { observability().latHist = true; },
+        [](const std::string &mode) {
+            observability().latHist = true;
+            if (mode == "ctx") {
+                observability().latPerCtx = true;
+                return true;
+            }
+            std::fprintf(stderr,
+                         "--lat-hist only accepts 'ctx' (got '%s')\n",
+                         mode.c_str());
+            return false;
+        },
+        "record per-class translation-latency histograms "
+        "(=ctx adds a per-context split)",
+        "ctx");
+    parser.option(
+        "counters",
+        [](const std::string &value) {
+            std::uint64_t n = 0;
+            if (!parseUnsigned(value, n))
+                return false;
+            observability().counterInterval = n;
+            return true;
+        },
+        "sample Perfetto counter tracks every N cycles "
+        "(needs --trace)",
+        "N");
+    parser.optionalValue(
+        "progress", [] { observability().progressSeconds = 2.0; },
+        [](const std::string &value) {
+            char *end = nullptr;
+            double s = std::strtod(value.c_str(), &end);
+            if (!end || *end != '\0' || s < 0)
+                return false;
+            observability().progressSeconds = s;
+            return true;
+        },
+        "print a heartbeat line to stderr every SECONDS "
+        "(default 2; =0 emits at every check)",
+        "SECONDS");
     parser.option(
         "fault-plan",
         [](const std::string &file) {
@@ -390,12 +456,16 @@ makeBenchParser(int argc, char **argv, const std::string &description,
 }
 
 /**
- * parseOrExit() and apply the cross-option rules: observability
- * forces a single job so traced runs stay deterministic; the fault
+ * parseOrExit() and apply the cross-option rules: --trace forces a
+ * single job (the structured recorder is one process-wide ring, so
+ * concurrent simulations would interleave their events); the fault
  * seed override lands on the loaded plan regardless of option order;
  * an absent --jobs falls back to NOCSTAR_JOBS, then hardware
- * concurrency. (A fault plan does NOT force one job -- fault
- * injection is deterministic at any sweep parallelism.)
+ * concurrency. (Stats JSON / epoch snapshots do NOT force one job:
+ * SweepHarness redirects each parallel simulation to its own temp
+ * file and merges them in input order, so the JSONL is byte-identical
+ * at any job count. A fault plan doesn't force one job either --
+ * fault injection is deterministic at any sweep parallelism.)
  */
 inline BenchArgs
 finalizeBenchArgs(ArgParser &parser, int argc, char **argv,
@@ -403,14 +473,13 @@ finalizeBenchArgs(ArgParser &parser, int argc, char **argv,
 {
     parser.parseOrExit(argc, argv);
     Observability &obs = observability();
-    if (obs.any()) {
+    if (obs.trace) {
         if (args.jobs > 1)
             std::fprintf(stderr,
-                         "note: observability options force --jobs 1\n");
+                         "note: --trace forces --jobs 1\n");
         args.jobs = 1;
-    }
-    if (obs.trace)
         sim::TraceRecorder::global().start();
+    }
     FaultSelection &faults = faultSelection();
     if (faults.seedSet)
         faults.plan.seed = faults.seed;
@@ -470,16 +539,33 @@ class SweepHarness
      * so downstream printing is independent of the job count. All
      * configurations are validated up front, so a bad sweep reports
      * every problem and exits before burning any simulation time.
+     *
+     * When --stats-json is active on a parallel sweep, each
+     * simulation appends to its own temp file (sink + ".tmpN", N a
+     * sweep-wide sim index) instead of racing on the shared sink; the
+     * temp files are then concatenated onto the sink in input order
+     * and removed, so the JSONL bytes match a --jobs 1 run exactly.
      */
     std::vector<cpu::RunResult>
     runMany(const std::vector<SimJob> &jobs)
     {
+        const Observability &obs = observability();
+        const bool split_stats =
+            !obs.statsJson.empty() && pool_.size() > 1;
+        std::vector<SimJob> applied;
+        applied.reserve(jobs.size());
         std::vector<std::string> errors;
         for (std::size_t i = 0; i < jobs.size(); ++i) {
             cpu::SystemConfig cfg = applySelections(jobs[i].config);
             for (const std::string &e : cfg.validate())
                 errors.push_back("job #" + std::to_string(i) + ": " +
                                  e);
+            if (split_stats)
+                cfg.statsJsonPath =
+                    obs.statsJson + ".tmp" +
+                    std::to_string(simIndex_ + i);
+            applied.push_back(SimJob{std::move(cfg),
+                                     jobs[i].accesses});
         }
         if (!errors.empty()) {
             for (const std::string &e : errors)
@@ -487,9 +573,12 @@ class SweepHarness
                              name_.c_str(), e.c_str());
             std::exit(2);
         }
-        auto results = pool_.map(jobs, [](const SimJob &job) {
-            return runOnce(job.config, job.accesses);
+        auto results = pool_.map(applied, [](const SimJob &job) {
+            return runApplied(job.config, job.accesses);
         });
+        if (split_stats)
+            mergeStatsTemps(applied);
+        simIndex_ += jobs.size();
         simsRun_ += results.size();
         for (const cpu::RunResult &r : results)
             simCycles_ += r.cycles;
@@ -566,9 +655,36 @@ class SweepHarness
     }
 
   private:
+    /** Concatenate the per-sim stats temp files onto the shared sink
+     * in input order, then remove them. */
+    void
+    mergeStatsTemps(const std::vector<SimJob> &applied)
+    {
+        const std::string &sink = observability().statsJson;
+        std::ofstream out(sink, std::ios::app | std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "[%s] cannot append to %s\n",
+                         name_.c_str(), sink.c_str());
+            return;
+        }
+        for (const SimJob &job : applied) {
+            const std::string &tmp = job.config.statsJsonPath;
+            {
+                std::ifstream in(tmp, std::ios::binary);
+                // A run that produced no stats leaves no file behind.
+                if (in)
+                    out << in.rdbuf();
+            }
+            std::remove(tmp.c_str());
+        }
+    }
+
     std::string name_;
     sim::ThreadPool pool_;
     std::chrono::steady_clock::time_point start_;
+    /** Sweep-wide sim counter: unique temp-file suffixes across
+     * multiple runMany() calls. */
+    std::uint64_t simIndex_ = 0;
     std::uint64_t simsRun_ = 0;
     std::uint64_t simCycles_ = 0;
     bool finished_ = false;

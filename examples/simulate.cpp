@@ -22,6 +22,7 @@
 #include "cpu/system.hh"
 #include "sim/fault.hh"
 #include "sim/parallel.hh"
+#include "sim/trace_recorder.hh"
 
 using namespace nocstar;
 
@@ -66,6 +67,8 @@ main(int argc, char **argv)
     bool storm = false;
     bool dump_stats = false;
     bool shards_auto = false;
+    bool do_trace = false;
+    std::string trace_out = "simulate_trace.json";
 
     bench::ArgParser parser(
         "simulate",
@@ -146,10 +149,59 @@ main(int argc, char **argv)
             return true;
         },
         "warp a fraction of all traffic onto one slice", "SLICE");
-    parser.option("trace", &trace_file, "replay a captured trace",
+    parser.option("replay", &trace_file, "replay a captured trace",
                   "FILE");
     parser.option("capture", &config.captureTracePath,
                   "capture the address trace to FILE", "FILE");
+    parser.flag("trace", &do_trace,
+                "record structured events (Chrome/Perfetto JSON)");
+    parser.option(
+        "trace-out",
+        [&do_trace, &trace_out](const std::string &file) {
+            do_trace = true;
+            trace_out = file;
+            return true;
+        },
+        "trace JSON destination (default simulate_trace.json; "
+        "implies --trace)",
+        "FILE");
+    parser.option(
+        "counters",
+        [&config](const std::string &value) {
+            std::uint64_t n = 0;
+            if (!bench::parseUnsigned(value, n))
+                return false;
+            config.counterInterval = n;
+            return true;
+        },
+        "sample Perfetto counter tracks every N cycles "
+        "(needs --trace)",
+        "N");
+    parser.optionalValue(
+        "progress", [&config] { config.progressSeconds = 2.0; },
+        [&config](const std::string &value) {
+            char *end = nullptr;
+            double s = std::strtod(value.c_str(), &end);
+            if (!end || *end != '\0' || s < 0)
+                return false;
+            config.progressSeconds = s;
+            return true;
+        },
+        "print a heartbeat line to stderr every SECONDS "
+        "(default 2; =0 emits at every check)",
+        "SECONDS");
+    parser.optionalValue(
+        "lat-hist", [&config] { config.latencyStats = true; },
+        [&config](const std::string &mode) {
+            if (mode != "ctx")
+                return false;
+            config.latencyStats = true;
+            config.latencyPerContext = true;
+            return true;
+        },
+        "record per-class translation-latency histograms "
+        "(=ctx adds a per-context split)",
+        "ctx");
     parser.flag("no-superpages", &no_superpages, "4 KB pages only");
     parser.flag("storm", &storm,
                 "enable the TLB-storm microbenchmark");
@@ -196,8 +248,26 @@ main(int argc, char **argv)
         return 2;
     }
 
+    if (do_trace)
+        sim::TraceRecorder::global().start();
+
     cpu::System system(config);
     cpu::RunResult result = system.run(accesses);
+
+    if (do_trace) {
+        sim::TraceRecorder &rec = sim::TraceRecorder::global();
+        rec.stop();
+        if (rec.exportChromeJson(trace_out))
+            std::fprintf(stderr,
+                         "simulate: wrote %llu trace events to %s "
+                         "(%llu dropped)\n",
+                         static_cast<unsigned long long>(rec.size()),
+                         trace_out.c_str(),
+                         static_cast<unsigned long long>(rec.dropped()));
+        else
+            std::fprintf(stderr, "simulate: cannot write %s\n",
+                         trace_out.c_str());
+    }
 
     std::printf("org                 : %s\n",
                 core::orgKindName(config.org.kind));

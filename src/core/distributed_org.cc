@@ -35,12 +35,12 @@ DistributedOrg::DistributedOrg(const OrgConfig &config,
 void
 DistributedOrg::finishWithWalk(CoreId walk_core, CoreId requester,
                                CoreId slice, ContextId ctx, Addr vaddr,
-                               Cycle start, Cycle now,
+                               Cycle start, Cycle now, bool ecc,
                                TranslationDone done)
 {
     launchWalk(
         walk_core, requester, ctx, vaddr, start,
-        [this, walk_core, requester, slice, ctx, vaddr, now,
+        [this, walk_core, requester, slice, ctx, vaddr, now, ecc,
          done = std::move(done)](const mem::WalkResult &walk) mutable {
             Cycle walk_done = ctx_.queue->curCycle();
             tlb::TlbEntry entry = entryFor(ctx, vaddr, walk.translation);
@@ -72,6 +72,8 @@ DistributedOrg::finishWithWalk(CoreId walk_core, CoreId requester,
             result.completedAt = completed;
             result.entry = entry;
             result.walked = true;
+            result.remote = slice != requester;
+            result.eccRewalk = ecc || walk.eccRetried;
             totalAccessLatency +=
                 static_cast<double>(completed - now);
             ctx_.queue->scheduleLambda(
@@ -100,9 +102,11 @@ DistributedOrg::translate(CoreId core, ContextId ctx, Addr vaddr,
                                   hops, array.numEntries());
 
     const tlb::TlbEntry *hit = homeProbe(array, ctx, vaddr);
+    bool ecc = false;
     if (hit && eccCorrupted()) {
         // The entry read back corrupt: drop it and take the miss path.
         ++sliceEccRewalks;
+        ecc = true;
         ContextId ectx = hit->ctx;
         PageNum vpn = hit->vpn;
         PageSize size = hit->size;
@@ -132,6 +136,7 @@ DistributedOrg::translate(CoreId core, ContextId ctx, Addr vaddr,
         result.completedAt = completed;
         result.entry = *hit;
         result.l2Hit = true;
+        result.remote = slice != core;
         totalAccessLatency += static_cast<double>(completed - now);
         ctx_.queue->scheduleLambda(
             completed, [this, slice, result, done = std::move(done)] {
@@ -145,7 +150,7 @@ DistributedOrg::translate(CoreId core, ContextId ctx, Addr vaddr,
     if (config_.ptwPlacement == PtwPlacement::Remote || slice == core) {
         // Walk at the slice's core, then respond with the translation.
         finishWithWalk(slice, core, slice, ctx, vaddr, lookup_done, now,
-                       std::move(done));
+                       ecc, std::move(done));
     } else {
         // Miss message returns to the requester, which walks locally.
         Cycle miss_arrival =
@@ -154,7 +159,7 @@ DistributedOrg::translate(CoreId core, ContextId ctx, Addr vaddr,
             ctx_.energy->addL2Message(energy::NocStyle::DistributedMesh,
                                       hops, 0);
         finishWithWalk(core, core, slice, ctx, vaddr, miss_arrival, now,
-                       std::move(done));
+                       ecc, std::move(done));
     }
 }
 

@@ -531,9 +531,13 @@ NocstarFabric::degrade(CoreId src, Cycle now)
                              req.dst, req.retries, "dst", "retries");
 
     DeliverFn deliver = std::move(req.deliver);
+    // Flag the delivery as degraded for its whole (synchronous)
+    // callback, so continuations can tag the translation result.
     queue_.scheduleLambda(arrival,
-                          [deliver = std::move(deliver), arrival] {
+                          [this, deliver = std::move(deliver), arrival] {
+                              deliveringDegraded_ = true;
                               deliver(arrival);
+                              deliveringDegraded_ = false;
                           });
 
     pending_[src].pop_front();

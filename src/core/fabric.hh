@@ -65,7 +65,7 @@ class NocstarFabric : public stats::StatGroup
      * (NOCSTAR remote lookup carrying the entry and the requester's
      * completion callback).
      */
-    using DeliverFn = InlineFunction<void(Cycle arrival), 184>;
+    using DeliverFn = InlineFunction<void(Cycle arrival), 192>;
 
     NocstarFabric(const std::string &name, EventQueue &queue,
                   const noc::GridTopology &topo,
@@ -162,6 +162,25 @@ class NocstarFabric : public stats::StatGroup
      * snapshots and at end of run; no-op without a fault plan.
      */
     void syncFaultStats(Cycle now);
+
+    /**
+     * True only while a delivery callback of a degraded (mesh-
+     * fallback) message is running. The organization continuations
+     * read it inside their DeliverFn bodies to tag the translation
+     * they are completing; the single-threaded event queue guarantees
+     * deliveries never nest across messages.
+     */
+    bool deliveredDegraded() const { return deliveringDegraded_; }
+
+    /** Directed links held at cycle @p now (counter-track sampling). */
+    unsigned
+    linksHeld(Cycle now) const
+    {
+        unsigned held = 0;
+        for (Cycle until : linkHeldUntil_)
+            held += until > now ? 1 : 0;
+        return held;
+    }
 
     /** Average cycles from send() to delivery, network portion only. */
     double
@@ -267,6 +286,8 @@ class NocstarFabric : public stats::StatGroup
     std::vector<Cycle> meshLinkFree_;
     /** linkDeadCycles is accounted through this cycle. */
     Cycle faultStatsThrough_ = 0;
+    /** See deliveredDegraded(). */
+    bool deliveringDegraded_ = false;
 };
 
 } // namespace nocstar::core

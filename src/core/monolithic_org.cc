@@ -76,9 +76,11 @@ MonolithicOrg::translate(CoreId core, ContextId ctx, Addr vaddr,
     // Functional lookup now (live, or the shard crew's pre-probe);
     // timing assembled below.
     const tlb::TlbEntry *hit = homeProbe(array, ctx, vaddr);
+    bool ecc = false;
     if (hit && eccCorrupted()) {
         // The entry read back corrupt: drop it and take the miss path.
         ++sliceEccRewalks;
+        ecc = true;
         ContextId ectx = hit->ctx;
         PageNum vpn = hit->vpn;
         PageSize size = hit->size;
@@ -115,6 +117,9 @@ MonolithicOrg::translate(CoreId core, ContextId ctx, Addr vaddr,
         result.completedAt = resp_arrival;
         result.entry = *hit;
         result.l2Hit = true;
+        // The monolithic structure sits at the chip edge: every access
+        // crosses the mesh, so its hits are remote by construction.
+        result.remote = true;
         totalAccessLatency += static_cast<double>(resp_arrival - now);
         ctx_.queue->scheduleLambda(
             resp_arrival, [this, bank, result, done = std::move(done)] {
@@ -129,7 +134,7 @@ MonolithicOrg::translate(CoreId core, ContextId ctx, Addr vaddr,
     // critical path).
     ++l2Misses;
     launchWalk(core, core, ctx, vaddr, resp_arrival,
-               [this, bank, core, ctx, vaddr, now,
+               [this, bank, core, ctx, vaddr, now, ecc,
                 done = std::move(done)](const mem::WalkResult &walk) {
                    tlb::SetAssocTlb &arr = *banks_[bank];
                    tlb::TlbEntry entry =
@@ -145,6 +150,8 @@ MonolithicOrg::translate(CoreId core, ContextId ctx, Addr vaddr,
                    result.completedAt = ctx_.queue->curCycle();
                    result.entry = entry;
                    result.walked = true;
+                   result.remote = true;
+                   result.eccRewalk = ecc || walk.eccRetried;
                    totalAccessLatency +=
                        static_cast<double>(result.completedAt - now);
                    noteAccessEnd(bank);

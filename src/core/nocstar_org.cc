@@ -38,14 +38,17 @@ NocstarOrg::NocstarOrg(const OrgConfig &config, OrgContext context,
 
 void
 NocstarOrg::respondHit(CoreId core, CoreId slice, tlb::TlbEntry entry,
-                       Cycle lookup_done, Cycle now, TranslationDone done)
+                       Cycle lookup_done, Cycle now, bool degraded,
+                       TranslationDone done)
 {
-    auto complete = [this, core, slice, entry, now,
+    auto complete = [this, core, slice, entry, now, degraded,
                      done = std::move(done)](Cycle arrival) mutable {
         TranslationResult result;
         result.completedAt = arrival;
         result.entry = entry;
         result.l2Hit = true;
+        result.remote = slice != core;
+        result.degraded = degraded || fabric_->deliveredDegraded();
         totalAccessLatency += static_cast<double>(arrival - now);
         ctx_.queue->scheduleLambda(
             arrival, [this, slice, result, done = std::move(done)] {
@@ -70,14 +73,17 @@ NocstarOrg::respondHit(CoreId core, CoreId slice, tlb::TlbEntry entry,
 void
 NocstarOrg::finishWithWalk(CoreId walk_core, CoreId requester,
                            CoreId slice, ContextId ctx, Addr vaddr,
-                           Cycle start, Cycle now, TranslationDone done)
+                           Cycle start, Cycle now, bool ecc,
+                           bool degraded, TranslationDone done)
 {
     launchWalk(
         walk_core, requester, ctx, vaddr, start,
-        [this, walk_core, requester, slice, ctx, vaddr, now,
+        [this, walk_core, requester, slice, ctx, vaddr, now, ecc,
+         degraded,
          done = std::move(done)](const mem::WalkResult &walk) mutable {
             Cycle walk_done = ctx_.queue->curCycle();
             tlb::TlbEntry entry = entryFor(ctx, vaddr, walk.translation);
+            const bool rewalk = ecc || walk.eccRetried;
 
             auto fill_slice = [this, slice, ctx, entry](Cycle) {
                 slices_[slice]->insert(entry);
@@ -85,12 +91,17 @@ NocstarOrg::finishWithWalk(CoreId walk_core, CoreId requester,
                                entry.size);
             };
 
-            auto complete = [this, slice, entry, now,
+            auto complete = [this, requester, slice, entry, now, rewalk,
+                             degraded,
                              done = std::move(done)](Cycle at) mutable {
                 TranslationResult result;
                 result.completedAt = at;
                 result.entry = entry;
                 result.walked = true;
+                result.remote = slice != requester;
+                result.eccRewalk = rewalk;
+                result.degraded =
+                    degraded || fabric_->deliveredDegraded();
                 totalAccessLatency += static_cast<double>(at - now);
                 ctx_.queue->scheduleLambda(
                     at, [this, slice, result, done = std::move(done)] {
@@ -130,11 +141,11 @@ NocstarOrg::finishWithWalk(CoreId walk_core, CoreId requester,
 void
 NocstarOrg::handleMiss(CoreId core, CoreId slice, ContextId ctx,
                        Addr vaddr, Cycle lookup_done, Cycle now,
-                       TranslationDone done)
+                       bool ecc, bool degraded, TranslationDone done)
 {
     if (config_.ptwPlacement == PtwPlacement::Remote || slice == core) {
         finishWithWalk(slice, core, slice, ctx, vaddr, lookup_done, now,
-                       std::move(done));
+                       ecc, degraded, std::move(done));
         return;
     }
     // Miss message travels back to the requester, which walks.
@@ -142,10 +153,13 @@ NocstarOrg::handleMiss(CoreId core, CoreId slice, ContextId ctx,
         ctx_.energy->addL2Message(energy::NocStyle::Nocstar,
                                   topo_.hops(slice, core), 0);
     fabric_->send(slice, core, lookup_done,
-                  [this, core, slice, ctx, vaddr, now,
-                   done = std::move(done)](Cycle arrival) mutable {
+                  [this, core, slice, ctx, vaddr, now, ecc,
+                   degraded, done = std::move(done)](Cycle arrival) mutable {
                       finishWithWalk(core, core, slice, ctx, vaddr,
-                                     arrival, now, std::move(done));
+                                     arrival, now, ecc,
+                                     degraded ||
+                                         fabric_->deliveredDegraded(),
+                                     std::move(done));
                   });
 }
 
@@ -169,10 +183,12 @@ NocstarOrg::translate(CoreId core, ContextId ctx, Addr vaddr, Cycle now,
     // timing assembled by the continuations.
     const tlb::TlbEntry *hit_entry = homeProbe(array, ctx, vaddr);
     bool hit = hit_entry != nullptr;
+    bool ecc = false;
     tlb::TlbEntry entry = hit ? *hit_entry : tlb::TlbEntry{};
     if (hit && eccCorrupted()) {
         // The entry read back corrupt: drop it and take the miss path.
         ++sliceEccRewalks;
+        ecc = true;
         array.invalidate(entry.ctx, entry.vpn, entry.size);
         hit = false;
         entry = tlb::TlbEntry{};
@@ -192,10 +208,10 @@ NocstarOrg::translate(CoreId core, ContextId ctx, Addr vaddr, Cycle now,
         noteSliceLookup(slice, start, lookup_done, hit);
         if (hit)
             respondHit(core, slice, entry, lookup_done, now,
-                       std::move(done));
+                       /*degraded=*/false, std::move(done));
         else
-            handleMiss(core, slice, ctx, vaddr, lookup_done, now,
-                       std::move(done));
+            handleMiss(core, slice, ctx, vaddr, lookup_done, now, ecc,
+                       /*degraded=*/false, std::move(done));
         return;
     }
 
@@ -204,8 +220,9 @@ NocstarOrg::translate(CoreId core, ContextId ctx, Addr vaddr, Cycle now,
         Cycle occupancy = sliceLatency_ + 2;
         fabric_->sendRoundTrip(
             core, slice, t0, occupancy,
-            [this, core, slice, ctx, vaddr, hit, entry, now,
+            [this, core, slice, ctx, vaddr, hit, entry, now, ecc,
              done = std::move(done)](Cycle arrival) mutable {
+                const bool deg = fabric_->deliveredDegraded();
                 Cycle start = portStart(slice, arrival + 1);
                 Cycle lookup_done = start + sliceLatency_;
                 noteSliceLookup(slice, start, lookup_done, hit);
@@ -219,6 +236,8 @@ NocstarOrg::translate(CoreId core, ContextId ctx, Addr vaddr, Cycle now,
                     result.completedAt = back;
                     result.entry = entry;
                     result.l2Hit = true;
+                    result.remote = true;
+                    result.degraded = deg;
                     totalAccessLatency +=
                         static_cast<double>(back - now);
                     ctx_.queue->scheduleLambda(
@@ -229,24 +248,26 @@ NocstarOrg::translate(CoreId core, ContextId ctx, Addr vaddr, Cycle now,
                         });
                 } else {
                     handleMiss(core, slice, ctx, vaddr, lookup_done,
-                               now, std::move(done));
+                               now, ecc, deg, std::move(done));
                 }
             });
         return;
     }
 
     fabric_->send(core, slice, t0,
-                  [this, core, slice, ctx, vaddr, hit, entry, now,
+                  [this, core, slice, ctx, vaddr, hit, entry, now, ecc,
                    done = std::move(done)](Cycle arrival) mutable {
+                      const bool deg = fabric_->deliveredDegraded();
                       Cycle start = portStart(slice, arrival + 1);
                       Cycle lookup_done = start + sliceLatency_;
                       noteSliceLookup(slice, start, lookup_done, hit);
                       if (hit)
                           respondHit(core, slice, entry, lookup_done,
-                                     now, std::move(done));
+                                     now, deg, std::move(done));
                       else
                           handleMiss(core, slice, ctx, vaddr,
-                                     lookup_done, now, std::move(done));
+                                     lookup_done, now, ecc, deg,
+                                     std::move(done));
                   });
 }
 

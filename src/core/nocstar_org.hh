@@ -96,17 +96,25 @@ class NocstarOrg : public TlbOrganization
     }
 
   private:
-    /** Continue after a slice lookup that hit: respond to the core. */
+    /**
+     * Continue after a slice lookup that hit: respond to the core.
+     * The @p ecc / @p degraded flags below accumulate the outcome
+     * classification along the continuation chain (corrupt home-array
+     * read; any leg so far fell back to the maintenance mesh) and end
+     * up on the TranslationResult.
+     */
     void respondHit(CoreId core, CoreId slice, tlb::TlbEntry entry,
-                    Cycle lookup_done, Cycle now, TranslationDone done);
+                    Cycle lookup_done, Cycle now, bool degraded,
+                    TranslationDone done);
 
     /** Continue after a slice miss per the walk-placement policy. */
     void handleMiss(CoreId core, CoreId slice, ContextId ctx, Addr vaddr,
-                    Cycle lookup_done, Cycle now, TranslationDone done);
+                    Cycle lookup_done, Cycle now, bool ecc, bool degraded,
+                    TranslationDone done);
 
     void finishWithWalk(CoreId walk_core, CoreId requester, CoreId slice,
                         ContextId ctx, Addr vaddr, Cycle start, Cycle now,
-                        TranslationDone done);
+                        bool ecc, bool degraded, TranslationDone done);
 
     noc::GridTopology topo_;
     std::unique_ptr<NocstarFabric> fabric_;

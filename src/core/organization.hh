@@ -36,6 +36,24 @@ struct TranslationResult
     tlb::TlbEntry entry;
     bool l2Hit = false;
     bool walked = false;
+    /**
+     * The home slice/bank serving this access was not co-located with
+     * the requesting tile (the lookup crossed the interconnect).
+     * Private organizations never set it; the monolithic structure at
+     * the chip edge always does.
+     */
+    bool remote = false;
+    /**
+     * The translation was redone for ECC: a home-array hit read back
+     * corrupt (sliceEccRewalks) or the page walk itself re-walked for
+     * a corrupt table entry (walker eccRewalks).
+     */
+    bool eccRewalk = false;
+    /**
+     * At least one fabric message on this translation's path fell back
+     * to the store-and-forward mesh (NOCSTAR under fault injection).
+     */
+    bool degraded = false;
 };
 
 /**
@@ -225,6 +243,9 @@ class TlbOrganization : public stats::StatGroup
     }
 
     const OrgConfig &config() const { return config_; }
+
+    /** In-flight L2 accesses right now (counter-track sampling). */
+    unsigned outstandingAccesses() const { return outstanding_; }
 
     // Chip-wide statistics shared by all organizations.
     stats::Scalar l2Accesses;

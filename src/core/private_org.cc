@@ -37,9 +37,11 @@ PrivateOrg::translate(CoreId core, ContextId ctx, Addr vaddr, Cycle now,
         ctx_.energy->addPrivateL2Lookup(config_.l2Entries);
 
     const tlb::TlbEntry *hit = homeProbe(array, ctx, vaddr);
+    bool ecc = false;
     if (hit && eccCorrupted()) {
         // The entry read back corrupt: drop it and take the miss path.
         ++sliceEccRewalks;
+        ecc = true;
         ContextId ectx = hit->ctx;
         PageNum vpn = hit->vpn;
         PageSize size = hit->size;
@@ -69,7 +71,7 @@ PrivateOrg::translate(CoreId core, ContextId ctx, Addr vaddr, Cycle now,
 
     ++l2Misses;
     launchWalk(core, core, ctx, vaddr, lookup_done,
-               [this, core, ctx, vaddr, now,
+               [this, core, ctx, vaddr, now, ecc,
                 done = std::move(done)](const mem::WalkResult &walk) {
                    tlb::SetAssocTlb &arr = *arrays_[core];
                    tlb::TlbEntry entry =
@@ -81,6 +83,7 @@ PrivateOrg::translate(CoreId core, ContextId ctx, Addr vaddr, Cycle now,
                    result.completedAt = ctx_.queue->curCycle();
                    result.entry = entry;
                    result.walked = true;
+                   result.eccRewalk = ecc || walk.eccRetried;
                    totalAccessLatency +=
                        static_cast<double>(result.completedAt - now);
                    noteAccessEnd(core);

@@ -8,15 +8,62 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <thread>
 
 #include "core/nocstar_org.hh"
 #include "energy/sram_model.hh"
+#include "sim/trace_recorder.hh"
 
 namespace nocstar::cpu
 {
+
+System::LatencyStats::LatencyStats(stats::StatGroup *parent,
+                                   std::size_t contexts)
+    : stats::StatGroup("latency", parent),
+      l1Hit(this, "l1_hit", "translation latency: L1 TLB hits"),
+      l2HitLocal(this, "l2_hit_local",
+                 "translation latency: local LLTLB hits"),
+      l2HitRemote(this, "l2_hit_remote",
+                  "translation latency: remote LLTLB hits"),
+      walk(this, "walk", "translation latency: page walks"),
+      eccRewalk(this, "ecc_rewalk",
+                "translation latency: ECC retry / re-walk paths"),
+      degraded(this, "degraded",
+               "translation latency: mesh-fallback (degraded) paths")
+{
+    if (contexts) {
+        ctxGroup = std::make_unique<stats::StatGroup>("ctx", this);
+        byCtx.reserve(contexts);
+        for (std::size_t c = 0; c < contexts; ++c)
+            byCtx.push_back(std::make_unique<stats::Histogram>(
+                ctxGroup.get(), "ctx" + std::to_string(c),
+                "translation latency: context " + std::to_string(c) +
+                    ", all outcomes"));
+    }
+}
+
+stats::Histogram &
+System::LatencyStats::of(LatClass c)
+{
+    switch (c) {
+      case LatClass::L1Hit:
+        return l1Hit;
+      case LatClass::L2HitLocal:
+        return l2HitLocal;
+      case LatClass::L2HitRemote:
+        return l2HitRemote;
+      case LatClass::Walk:
+        return walk;
+      case LatClass::EccRewalk:
+        return eccRewalk;
+      case LatClass::Degraded:
+        return degraded;
+    }
+    return l1Hit; // unreachable
+}
 
 std::vector<std::string>
 SystemConfig::validate() const
@@ -132,6 +179,12 @@ System::System(const SystemConfig &config)
 
     org_ = core::makeOrganization(config.org, std::move(org_ctx), this);
 
+    if (config.latencyStats || config.latencyPerContext)
+        latency_ = std::make_unique<LatencyStats>(
+            this, config.latencyPerContext ? config.apps.size() : 0);
+    if (auto *nocstar = dynamic_cast<core::NocstarOrg *>(org_.get()))
+        counterFabric_ = &nocstar->fabric();
+
     // Thread placement: spread threads across cores first, then fill
     // SMT slots, exactly one app context per thread.
     threadsOfCore_.resize(cores);
@@ -191,6 +244,9 @@ System::System(const SystemConfig &config)
         for (unsigned s = 0; s < shards; ++s)
             shardQueues_.push_back(std::make_unique<EventQueue>());
         lanes_.assign(shards, ShardLane{});
+        if (latency_ && !latency_->byCtx.empty())
+            for (ShardLane &lane : lanes_)
+                lane.hitsByCtx.assign(config.apps.size(), 0);
         deferred_ =
             std::make_unique<sim::ShardMailboxes<DeferredMiss>>(shards);
         shardOfThread_.reserve(threads_.size());
@@ -309,6 +365,7 @@ System::step(std::size_t thread_index)
                 [this, thread_index, vaddr,
                  now](const core::TranslationResult &result) {
                     HwThread &th = threads_[thread_index];
+                    recordMissLatency(thread_index, result, now);
                     if (sim::recording())
                         sim::recorder().span(
                             sim::Lane::Translation, th.core,
@@ -325,7 +382,13 @@ System::step(std::size_t thread_index)
             break;
         }
 
-        // Translation overlapped with the L1 cache access: no stall.
+        // Translation overlapped with the L1 cache access: no stall
+        // (the hit class records latency 0 for exactly that reason).
+        if (latency_) {
+            latency_->l1Hit.record(0);
+            if (!latency_->byCtx.empty())
+                latency_->byCtx[thread.ctx]->record(0);
+        }
         Cycle next = now + burstCycles(thread);
         if (!config_.stepBypass || !queue_.quietUntil(next)) {
             scheduleStep(thread_index, next);
@@ -388,6 +451,12 @@ System::shardStep(std::size_t thread_index)
             break;
         }
 
+        // Hit-class histogram zeros fold from the lane counters at the
+        // window boundary; only the per-ctx split needs counting here
+        // (lane-local, single writer, reset at every fold).
+        if (!lane.hitsByCtx.empty())
+            ++lane.hitsByCtx[thread.ctx];
+
         // L1 hit: the legacy hit-streak bypass, additionally clamped
         // to the window end (past it, the serial phase may owe this
         // queue a resumption this quiescence scan cannot see).
@@ -428,6 +497,7 @@ System::replayMiss(const DeferredMiss &miss, const core::ProbeResult *probe)
         [this, thread_index, vaddr,
          now](const core::TranslationResult &result) {
             HwThread &th = threads_[thread_index];
+            recordMissLatency(thread_index, result, now);
             if (sim::recording())
                 sim::recorder().span(
                     sim::Lane::Translation, th.core,
@@ -448,6 +518,148 @@ System::replayMiss(const DeferredMiss &miss, const core::ProbeResult *probe)
     else
         org_->translate(thread.core, thread.ctx, vaddr, now,
                         std::move(done));
+}
+
+void
+System::recordMissLatency(std::size_t thread_index,
+                          const core::TranslationResult &result,
+                          Cycle issued)
+{
+    if (!latency_)
+        return;
+    const Cycle lat =
+        result.completedAt > issued ? result.completedAt - issued : 0;
+    const LatClass cls = result.degraded    ? LatClass::Degraded
+        : result.eccRewalk                  ? LatClass::EccRewalk
+        : result.walked                     ? LatClass::Walk
+        : result.remote                     ? LatClass::L2HitRemote
+                                            : LatClass::L2HitLocal;
+    latency_->of(cls).record(lat);
+    if (!latency_->byCtx.empty())
+        latency_->byCtx[threads_[thread_index].ctx]->record(lat);
+}
+
+void
+System::sampleCounters(Cycle at)
+{
+    std::size_t depth = queue_.size();
+    for (const auto &q : shardQueues_)
+        depth += q->size();
+    sim::recorder().counter(0, "event queue depth", at, depth);
+    sim::recorder().counter(1, "in-flight L2 misses", at,
+                            org_->outstandingAccesses());
+    if (counterFabric_)
+        sim::recorder().counter(2, "fabric links held", at,
+                                counterFabric_->linksHeld(at));
+}
+
+void
+System::installCounterEvent()
+{
+    if (split_ || config_.counterInterval == 0 || !sim::recording())
+        return;
+    // lastPriority: the sample sees every event of its cycle.
+    queue_.scheduleLambda(
+        queue_.curCycle() + config_.counterInterval,
+        [this] {
+            if (unfinished_ == 0)
+                return;
+            sampleCounters(queue_.curCycle());
+            installCounterEvent();
+        },
+        Event::lastPriority);
+}
+
+void
+System::installProgressEvent()
+{
+    if (!progress_ || split_)
+        return;
+    // Check the wall clock every few thousand cycles: frequent enough
+    // that any human-scale period is honoured, rare enough that the
+    // check itself never shows up in a profile.
+    constexpr Cycle checkInterval = 8192;
+    queue_.scheduleLambda(
+        queue_.curCycle() + checkInterval,
+        [this] {
+            if (unfinished_ == 0)
+                return;
+            maybeProgress();
+            installProgressEvent();
+        },
+        Event::lastPriority);
+}
+
+void
+System::maybeProgress(bool force)
+{
+    if (!progress_)
+        return;
+    using clock = std::chrono::steady_clock;
+    const auto wall = clock::now();
+    const double since =
+        std::chrono::duration<double>(wall - progress_->lastEmit).count();
+    if (!force && since < config_.progressSeconds)
+        return;
+
+    const Cycle cycle = queue_.curCycle();
+    std::uint64_t accesses = 0;
+    for (const HwThread &thread : threads_)
+        accesses += thread.accessesDone;
+
+    const double cyc_rate = since > 0
+        ? static_cast<double>(cycle - progress_->lastCycle) / since
+        : 0.0;
+    const double acc_rate = since > 0
+        ? static_cast<double>(accesses - progress_->lastAccesses) / since
+        : 0.0;
+    const double pct = progress_->totalQuota
+        ? 100.0 * static_cast<double>(accesses) /
+              static_cast<double>(progress_->totalQuota)
+        : 100.0;
+    const double eta = acc_rate > 0
+        ? static_cast<double>(progress_->totalQuota - accesses) / acc_rate
+        : 0.0;
+    const std::uint64_t faults = counterFabric_
+        ? static_cast<std::uint64_t>(counterFabric_->faultsInjected.value())
+        : 0;
+    double busy = 0.0;
+    if (split_ && timing_.stepWallNanos > 0 && !lanes_.empty()) {
+        // Lanes hold the live per-shard busy nanos mid-run; they fold
+        // into timing_.stepBusyNanos only when the engine finishes.
+        std::uint64_t busy_nanos = timing_.stepBusyNanos;
+        for (const ShardLane &lane : lanes_)
+            busy_nanos += lane.stepNanos;
+        busy = 100.0 * static_cast<double>(busy_nanos) /
+               (static_cast<double>(timing_.stepWallNanos) *
+                static_cast<double>(lanes_.size()));
+    }
+
+    std::fprintf(stderr,
+                 "[progress] cycle %llu | %.2fM cyc/s | %.2fM acc/s | "
+                 "%.1f%% of quota | ~%.0fs left | faults %llu | "
+                 "shard busy %.0f%%\n",
+                 static_cast<unsigned long long>(cycle), cyc_rate * 1e-6,
+                 acc_rate * 1e-6, pct, eta,
+                 static_cast<unsigned long long>(faults), busy);
+
+    progress_->lastEmit = wall;
+    progress_->lastCycle = cycle;
+    progress_->lastAccesses = accesses;
+}
+
+void
+System::flushParkEvents()
+{
+    std::vector<ParkEvent> events;
+    {
+        std::lock_guard<std::mutex> lock(parkMutex_);
+        events.swap(parkEvents_);
+    }
+    for (const ParkEvent &e : events)
+        sim::recorder().instant(sim::Lane::Shard, 8 + e.shard,
+                                e.parked ? "crew park" : "crew wake",
+                                e.at, e.shard, 0, "shard", nullptr);
 }
 
 namespace
@@ -480,10 +692,24 @@ System::driveSharded()
     const Cycle lead = std::max<Cycle>(
         1, std::min(org_->minCompletionLead(), org_->minUncoreLead()));
     const auto shards = static_cast<unsigned>(shardQueues_.size());
+    // Crew park/wake instants, only wired while a recorder is live:
+    // the hook runs on worker threads, so it appends to a locked
+    // buffer that the caller thread drains at window boundaries.
+    sim::ShardCrew::ParkHook park_hook;
+    if (sim::recording())
+        park_hook = [this](unsigned shard, bool parked) {
+            const Cycle at = windowEndHint_.load(std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(parkMutex_);
+            parkEvents_.push_back(ParkEvent{shard, parked, at});
+        };
     // Worker threads only pay off when each shard can own a CPU; on a
     // smaller host the crew runs the (identical) windows serially.
-    sim::ShardCrew crew(shards,
-                        std::thread::hardware_concurrency() >= shards);
+    // Held indirectly so the final flushParkEvents() below can run
+    // after destruction, catching the shutdown wake instants.
+    auto crew_holder = std::make_unique<sim::ShardCrew>(
+        shards, std::thread::hardware_concurrency() >= shards,
+        std::move(park_hook));
+    sim::ShardCrew &crew = *crew_holder;
     sim::ShardCrew::WindowFn window_fn = [this](unsigned shard) {
         auto t0 = clock::now();
         EventQueue &q = *shardQueues_[shard];
@@ -551,6 +777,18 @@ System::driveSharded()
             : std::min(uncore, steps + lead - 1);
         windowEnd_ = end;
         ++timing_.windows;
+        windowEndHint_.store(end, std::memory_order_relaxed);
+
+        // Per-window observability: one recording() check per window
+        // (not per access), so all of this is free when off.
+        const bool rec = sim::recording();
+        const bool sample = rec && config_.counterInterval != 0 &&
+                            end >= nextCounterAt_;
+        unsigned busy_lanes = 0;
+        if (sample)
+            for (const auto &q : shardQueues_)
+                busy_lanes += !q->empty() &&
+                              q->nextEventCycle() <= end;
 
         // Phase A: every shard runs its own step events through the
         // window, in parallel, touching shard-owned state only.
@@ -566,6 +804,9 @@ System::driveSharded()
                 std::uint64_t own = lanes_[0].stepNanos - own0;
                 timing_.barrierNanos += wall > own ? wall - own : 0;
             }
+            if (rec)
+                sim::recorder().span(sim::Lane::Shard, 0, "phase A",
+                                     steps, end);
         }
 
         auto drain0 = clock::now();
@@ -584,15 +825,33 @@ System::driveSharded()
         l1Misses_ += static_cast<double>(misses);
         energy_.addL1Lookups(accesses);
 
+        // L1 hits all have latency 0, so one bulk record per window
+        // reproduces the legacy per-access records exactly; both the
+        // bulk count and the per-ctx folds are sums of lane integers,
+        // hence shard-count invariant like every other Scalar.
+        if (latency_) {
+            latency_->l1Hit.record(0, accesses - misses);
+            for (std::size_t c = 0; c < latency_->byCtx.size(); ++c) {
+                std::uint64_t hits = 0;
+                for (ShardLane &lane : lanes_) {
+                    hits += lane.hitsByCtx[c];
+                    lane.hitsByCtx[c] = 0;
+                }
+                latency_->byCtx[c]->record(0, hits);
+            }
+        }
+
         // Canonical replay: merge the deferred misses by (cycle,
         // thread) -- an order independent of the shard partition --
         // and inject each at its original cycle, ahead of the clock
         // because every miss cycle lies in the current window.
+        std::size_t window_deferred = 0;
         if (!deferred_->empty()) {
             replayBatch_ = deferred_->drain([](const DeferredMiss &m) {
                 return std::make_pair(m.cycle, m.thread);
             });
             timing_.deferredMisses += replayBatch_.size();
+            window_deferred = replayBatch_.size();
             probeResults_.assign(replayBatch_.size(), {});
             probeTaken_.assign(replayBatch_.size(), 0);
 
@@ -626,6 +885,10 @@ System::driveSharded()
                     }
                     for (auto &plan : probePlan_)
                         plan.clear();
+                    if (rec)
+                        sim::recorder().span(
+                            sim::Lane::Shard, 1, "phase B1 pre-probe",
+                            replayBatch_.front().cycle, end);
                 }
             }
 
@@ -647,19 +910,48 @@ System::driveSharded()
         }
         timing_.drainNanos += nanosSince(drain0);
 
+        // Counter samples stamp the window end, which is non-
+        // decreasing across windows, so every counter track's
+        // timestamps stay monotonic for the Perfetto importer.
+        if (sample) {
+            nextCounterAt_ = end + config_.counterInterval;
+            sampleCounters(end);
+            sim::recorder().counter(
+                3, "window width E", end,
+                steps == invalidCycle ? 0 : end - steps + 1);
+            sim::recorder().counter(4, "busy shard lanes", end,
+                                    busy_lanes);
+            sim::recorder().counter(5, "deferred misses", end,
+                                    window_deferred);
+        }
+
         // Phase B: the uncore (organization, fabric, walkers, caches,
         // storm / context-switch / epoch machinery) runs serially
         // through the same window.
         auto uncore0 = clock::now();
+        Cycle b2_start = std::min(queue_.curCycle(), end);
         queue_.run(end);
         timing_.uncoreNanos += nanosSince(uncore0);
+        if (rec) {
+            sim::recorder().span(sim::Lane::Shard, 2,
+                                 "phase B2 uncore", b2_start, end);
+            flushParkEvents();
+        }
+        if (progress_)
+            maybeProgress();
     }
+
+    crew_holder.reset();
+    if (sim::recording())
+        flushParkEvents();
 
     for (ShardLane &lane : lanes_) {
         timing_.stepBusyNanos += lane.stepNanos;
         timing_.probeBusyNanos += lane.probeNanos;
         timing_.preProbes += lane.probes;
         lane = ShardLane{};
+        if (latency_ && !latency_->byCtx.empty())
+            lane.hitsByCtx.assign(config_.apps.size(), 0);
     }
 }
 
@@ -907,10 +1199,24 @@ System::run(std::uint64_t accesses_per_thread)
     installStormEvent();
     installEpochEvent();
 
+    if (config_.progressSeconds >= 0) {
+        progress_ = std::make_unique<Progress>();
+        progress_->start = std::chrono::steady_clock::now();
+        progress_->lastEmit = progress_->start;
+        progress_->totalQuota =
+            accesses_per_thread * threads_.size();
+    }
+    nextCounterAt_ = 0;
+    installCounterEvent();
+    installProgressEvent();
+
     if (split_)
         driveSharded();
     else
         queue_.run();
+
+    if (progress_)
+        maybeProgress(true);
 
     org_->syncFaultStats(queue_.curCycle());
 

@@ -18,8 +18,10 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -29,11 +31,17 @@
 #include "mem/page_table.hh"
 #include "mem/page_walker.hh"
 #include "sim/event_queue.hh"
+#include "sim/latency_histogram.hh"
 #include "sim/shard.hh"
 #include "tlb/l1_tlb.hh"
 #include "workload/generator.hh"
 #include "workload/spec.hh"
 #include "workload/trace.hh"
+
+namespace nocstar::core
+{
+class NocstarFabric;
+}
 
 namespace nocstar::cpu
 {
@@ -143,6 +151,39 @@ struct SystemConfig
      * JSON document, a sweep's file is JSONL.
      */
     std::string statsJsonPath;
+
+    /**
+     * Record per-outcome translation-latency histograms (exact-rank
+     * p50/p90/p99/p99.9 over log buckets, <= 1.6 % relative error):
+     * one histogram per outcome class -- L1 hit, local L2 hit, remote
+     * L2 hit, page walk, ECC re-walk, degraded (mesh-fallback) path --
+     * under the "latency" stats child group. Off by default: the
+     * group is not even created, so the stats tree and every hot path
+     * are byte-identical to a build without the feature.
+     */
+    bool latencyStats = false;
+    /**
+     * Additionally keep one all-outcomes histogram per context (the
+     * future tenant key) under latency/ctx. Implies latencyStats.
+     */
+    bool latencyPerContext = false;
+    /**
+     * Sample observability counter tracks (event-queue depth, in-flight
+     * L2 misses, fabric links held, shard window width, busy shard
+     * lanes, deferred misses) into the structured trace recorder at
+     * most every N cycles (0 = off). Needs an active recorder; samples
+     * render as Perfetto "ph":"C" counter tracks.
+     */
+    Cycle counterInterval = 0;
+    /**
+     * Emit a one-line wall-clock progress heartbeat to stderr at this
+     * period in seconds (< 0 = off, the default; 0 = every check
+     * point). When enabled, one final line is always emitted at the
+     * end of run(). Zero hot-path cost when off: the legacy engine
+     * installs no event at all and the window engine's check is one
+     * null-pointer test per window.
+     */
+    double progressSeconds = -1.0;
 
     /**
      * Field-level configuration errors, one message per violation,
@@ -378,6 +419,68 @@ class System : public stats::StatGroup
         std::uint64_t probeNanos = 0;
         /** Pre-probes this shard executed. */
         std::uint64_t probes = 0;
+        /**
+         * L1 hits per context this window (sized only when per-context
+         * latency histograms are on), folded in context order at the
+         * boundary so per-ctx hit counts are shard-count invariant.
+         */
+        std::vector<std::uint64_t> hitsByCtx;
+    };
+
+    /** Outcome class of one translation, for the latency histograms.
+     * Classification priority on a completed miss: degraded >
+     * eccRewalk > walked > remote hit > local hit. */
+    enum class LatClass : unsigned
+    {
+        L1Hit,       ///< L1 TLB hit (latency 0: overlapped with cache)
+        L2HitLocal,  ///< LLTLB hit in a co-located slice/bank
+        L2HitRemote, ///< LLTLB hit that crossed the interconnect
+        Walk,        ///< page walk on the critical path
+        EccRewalk,   ///< ECC-corrupt read forced a retry / re-walk
+        Degraded,    ///< a leg fell back to the store-and-forward mesh
+    };
+
+    /**
+     * The "latency" stats child group: per-outcome translation-latency
+     * histograms plus (optionally) one all-outcomes histogram per
+     * context. Created only when SystemConfig::latencyStats (or
+     * latencyPerContext) is set, so the stats tree is unchanged
+     * otherwise.
+     */
+    struct LatencyStats : stats::StatGroup
+    {
+        LatencyStats(stats::StatGroup *parent, std::size_t contexts);
+
+        stats::Histogram l1Hit;
+        stats::Histogram l2HitLocal;
+        stats::Histogram l2HitRemote;
+        stats::Histogram walk;
+        stats::Histogram eccRewalk;
+        stats::Histogram degraded;
+        /** Non-null only with latencyPerContext: "ctx" child group. */
+        std::unique_ptr<stats::StatGroup> ctxGroup;
+        /** One all-outcomes histogram per context (may be empty). */
+        std::vector<std::unique_ptr<stats::Histogram>> byCtx;
+
+        stats::Histogram &of(LatClass c);
+    };
+
+    /** Wall-clock heartbeat state (allocated only when enabled). */
+    struct Progress
+    {
+        std::chrono::steady_clock::time_point start;
+        std::chrono::steady_clock::time_point lastEmit;
+        Cycle lastCycle = 0;
+        std::uint64_t lastAccesses = 0;
+        std::uint64_t totalQuota = 0;
+    };
+
+    /** A crew worker parked on (or woke from) the window condvar. */
+    struct ParkEvent
+    {
+        unsigned shard;
+        bool parked;
+        Cycle at;
     };
 
     /** Preload steady-state resident translations (see system.cc). */
@@ -418,6 +521,31 @@ class System : public stats::StatGroup
     void installStormEvent();
     void stormOp();
     void installEpochEvent();
+
+    /**
+     * Classify and record one completed L1-miss translation into the
+     * latency histograms (no-op when they are off). @p issued is the
+     * cycle the access missed in the L1.
+     */
+    void recordMissLatency(std::size_t thread_index,
+                           const core::TranslationResult &result,
+                           Cycle issued);
+
+    /** Sample the observability counter tracks at cycle @p at (the
+     * caller has already checked recording() and the interval). */
+    void sampleCounters(Cycle at);
+
+    /** Periodic counter-sampling / heartbeat events (legacy engine). */
+    void installCounterEvent();
+    void installProgressEvent();
+
+    /** Emit a heartbeat line if the wall-clock period elapsed (or
+     * @p force); no-op when the heartbeat is off. */
+    void maybeProgress(bool force = false);
+
+    /** Drain crew park/wake events into the trace recorder (serial
+     * phases only; workers may append concurrently). */
+    void flushParkEvents();
 
     SystemConfig config_;
     EventQueue queue_;
@@ -469,6 +597,23 @@ class System : public stats::StatGroup
     std::vector<std::vector<std::uint32_t>> probePlan_;
     /** Wall-clock split of the window loop (see ShardTiming). */
     ShardTiming timing_;
+
+    // Observability state (all null / inert unless configured).
+    /** Latency histograms; null unless latencyStats/latencyPerContext. */
+    std::unique_ptr<LatencyStats> latency_;
+    /** Heartbeat bookkeeping; null unless progressSeconds >= 0. */
+    std::unique_ptr<Progress> progress_;
+    /** Next cycle at or after which counter tracks may sample again. */
+    Cycle nextCounterAt_ = 0;
+    /** Fabric of a NOCSTAR org, for the links-held counter track. */
+    core::NocstarFabric *counterFabric_ = nullptr;
+    /** Crew park/wake events, appended by worker threads under the
+     * mutex and drained into the recorder by the caller thread. */
+    std::vector<ParkEvent> parkEvents_;
+    std::mutex parkMutex_;
+    /** Approximate cycle stamp for park/wake instants (workers cannot
+     * read a queue clock racily; the window end is close enough). */
+    std::atomic<Cycle> windowEndHint_{0};
 
     stats::Scalar l1Accesses_;
     stats::Scalar l1Misses_;

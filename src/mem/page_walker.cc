@@ -102,6 +102,7 @@ PageTableWalker::walk(ContextId ctx, Addr vaddr, CoreId requester_core,
         eccRng_.chance(config_.eccRetryProb)) {
         ++eccRewalks;
         result.walkLatency *= 2;
+        result.eccRetried = true;
     }
 
     busyUntil_ = start + result.walkLatency;

@@ -62,6 +62,8 @@ struct WalkResult
     unsigned l2Refs = 0;
     unsigned llcRefs = 0;
     unsigned dramRefs = 0;
+    /** The walk reran for a corrupt page-table read (ECC injection). */
+    bool eccRetried = false;
 
     Cycle totalLatency() const { return queueDelay + walkLatency; }
 };

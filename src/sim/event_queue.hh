@@ -84,7 +84,7 @@ class Event
  * requester's completion callback); outgrowing it is a compile error,
  * never a heap allocation.
  */
-using SimCallback = InlineFunction<void(), 240>;
+using SimCallback = InlineFunction<void(), 256>;
 
 /** Convenience event wrapping an inline callback. */
 class LambdaEvent : public Event

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * LatencyHistogram percentile walk and stat dumpers.
+ */
+
+#include "sim/latency_histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+
+#include "sim/json.hh"
+
+namespace nocstar::sim
+{
+
+std::uint64_t
+LatencyHistogram::percentile(double q) const
+{
+    if (empty())
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the q-quantile among the sorted samples, 1-based; q = 0
+    // asks for the smallest sample.
+    const auto rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(q * static_cast<double>(samples_))));
+    std::uint64_t cumulative = 0;
+    for (std::uint32_t i = 0; i < numBuckets; ++i) {
+        cumulative += buckets_[i];
+        if (cumulative >= rank)
+            return std::clamp(bucketHigh(i), minValue(), max_);
+    }
+    return max_; // unreachable: cumulative reaches samples_
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    if (other.empty())
+        return;
+    samples_ += other.samples_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    for (std::uint32_t i = 0; i < numBuckets; ++i)
+        buckets_[i] += other.buckets_[i];
+}
+
+void
+LatencyHistogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    samples_ = 0;
+    sum_ = 0;
+    min_ = ~std::uint64_t{0};
+    max_ = 0;
+}
+
+} // namespace nocstar::sim
+
+namespace nocstar::stats
+{
+
+namespace
+{
+
+void
+emitLine(std::ostream &os, const std::string &prefix,
+         const std::string &name, double value, const std::string &desc)
+{
+    os << std::left << std::setw(44) << (prefix + name) << " "
+       << std::setw(16) << std::setprecision(8) << value
+       << " # " << desc << "\n";
+}
+
+} // namespace
+
+void
+Histogram::dump(std::ostream &os, const std::string &prefix) const
+{
+    emitLine(os, prefix, name() + ".samples",
+             static_cast<double>(hist_.numSamples()), desc());
+    emitLine(os, prefix, name() + ".mean", hist_.mean(), desc());
+    emitLine(os, prefix, name() + ".min",
+             static_cast<double>(hist_.minValue()), desc());
+    emitLine(os, prefix, name() + ".max",
+             static_cast<double>(hist_.maxValue()), desc());
+    emitLine(os, prefix, name() + ".p50",
+             static_cast<double>(hist_.percentile(0.50)), desc());
+    emitLine(os, prefix, name() + ".p90",
+             static_cast<double>(hist_.percentile(0.90)), desc());
+    emitLine(os, prefix, name() + ".p99",
+             static_cast<double>(hist_.percentile(0.99)), desc());
+    emitLine(os, prefix, name() + ".p999",
+             static_cast<double>(hist_.percentile(0.999)), desc());
+}
+
+void
+Histogram::dumpJson(std::ostream &os) const
+{
+    os << "{\"samples\":" << hist_.numSamples()
+       << ",\"sum\":" << hist_.sum() << ",\"mean\":";
+    json::number(os, hist_.mean());
+    os << ",\"min\":" << hist_.minValue()
+       << ",\"max\":" << hist_.maxValue()
+       << ",\"p50\":" << hist_.percentile(0.50)
+       << ",\"p90\":" << hist_.percentile(0.90)
+       << ",\"p99\":" << hist_.percentile(0.99)
+       << ",\"p999\":" << hist_.percentile(0.999);
+    // Sparse buckets as [inclusive low edge, count] pairs: enough to
+    // re-derive any percentile after merging documents offline.
+    os << ",\"buckets\":[";
+    bool first = true;
+    const auto &buckets = hist_.buckets();
+    for (std::uint32_t i = 0; i < buckets.size(); ++i) {
+        if (!buckets[i])
+            continue;
+        if (!first)
+            os << ",";
+        first = false;
+        os << "[" << sim::LatencyHistogram::bucketLow(i) << ","
+           << buckets[i] << "]";
+    }
+    os << "]}";
+}
+
+} // namespace nocstar::stats

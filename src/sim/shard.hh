@@ -23,12 +23,9 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
-
-#include "sim/parallel.hh"
 
 namespace nocstar::sim
 {
@@ -36,14 +33,26 @@ namespace nocstar::sim
 /**
  * A fixed crew of shard workers reused across every window of a run.
  * Shard 0 always executes on the calling thread; shards 1..N-1 live as
- * long-running loops on a ThreadPool, parked in a bounded spin (with
- * yield backoff) between windows. runWindow(fn) invokes fn(shard) for
- * every shard concurrently and returns once all have finished.
+ * long-running loops on dedicated threads (not a ThreadPool, whose
+ * single-worker degenerate mode runs tasks inline on the caller -- a
+ * feature for map(), but fatal for an infinite worker loop), parked in
+ * a bounded spin (with yield backoff) between windows. runWindow(fn)
+ * invokes fn(shard) for every shard concurrently and returns once all
+ * have finished.
  */
 class ShardCrew
 {
   public:
     using WindowFn = std::function<void(unsigned shard)>;
+    /**
+     * Observability hook invoked on a *worker thread* when it parks on
+     * the condvar (@p parked true) and again when it wakes (@p parked
+     * false). It runs concurrently with the caller thread, so the hook
+     * must do its own synchronization; it is passed at construction
+     * (before the workers spawn) so the workers never race a setter.
+     * Never invoked for shard 0 or in serial mode.
+     */
+    using ParkHook = std::function<void(unsigned shard, bool parked)>;
 
     /**
      * @param parallel run shards 1..N-1 on worker threads. When false
@@ -54,14 +63,16 @@ class ShardCrew
      * across oversubscribed workers costs scheduler round-trips per
      * window instead of buying wall-clock time.
      */
-    explicit ShardCrew(unsigned shards, bool parallel = true)
-        : shards_(shards), parallel_(parallel && shards > 1)
+    explicit ShardCrew(unsigned shards, bool parallel = true,
+                       ParkHook park_hook = {})
+        : shards_(shards), parallel_(parallel && shards > 1),
+          parkHook_(std::move(park_hook))
     {
         if (!parallel_)
             return;
-        pool_ = std::make_unique<ThreadPool>(shards_ - 1);
+        workers_.reserve(shards_ - 1);
         for (unsigned s = 1; s < shards_; ++s)
-            pool_->post([this, s] { workerLoop(s); });
+            workers_.emplace_back([this, s] { workerLoop(s); });
     }
 
     ~ShardCrew()
@@ -70,7 +81,8 @@ class ShardCrew
             stop_.store(true, std::memory_order_release);
             generation_.fetch_add(1); // seq_cst, see wakeSleepers()
             wakeSleepers();
-            pool_->drain();
+            for (std::thread &worker : workers_)
+                worker.join();
         }
     }
 
@@ -167,6 +179,8 @@ class ShardCrew
             while ((gen = generation_.load(std::memory_order_acquire)) ==
                    seen) {
                 if (yields >= yieldsBeforePark) {
+                    if (parkHook_)
+                        parkHook_(shard, true);
                     sleepers_.fetch_add(1); // seq_cst, see wakeSleepers()
                     {
                         std::unique_lock<std::mutex> lock(parkMutex_);
@@ -175,6 +189,8 @@ class ShardCrew
                         });
                     }
                     sleepers_.fetch_sub(1);
+                    if (parkHook_)
+                        parkHook_(shard, false);
                     continue;
                 }
                 if (++spins > spinsPerYield) {
@@ -197,7 +213,8 @@ class ShardCrew
 
     unsigned shards_;
     bool parallel_;
-    std::unique_ptr<ThreadPool> pool_;
+    ParkHook parkHook_;
+    std::vector<std::thread> workers_;
     const WindowFn *fn_ = nullptr;
     std::atomic<std::uint64_t> generation_{0};
     std::atomic<unsigned> arrived_{0};

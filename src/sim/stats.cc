@@ -124,6 +124,36 @@ Distribution::sample(double v, std::uint64_t count)
     }
 }
 
+double
+Distribution::percentileEst(double q) const
+{
+    if (!samples_)
+        return 0;
+    q = std::min(std::max(q, 0.0), 1.0);
+    const double target = q * static_cast<double>(samples_);
+    // Underflow samples sit below every bucket: a quantile inside them
+    // can only be pinned to the recorded minimum.
+    double cumulative = static_cast<double>(underflow_);
+    double estimate = minSample_;
+    if (target > cumulative) {
+        estimate = maxSample_; // quantile beyond all buckets: overflow
+        for (std::size_t i = 0; i < buckets_.size(); ++i) {
+            if (!buckets_[i])
+                continue;
+            const auto count = static_cast<double>(buckets_[i]);
+            if (cumulative + count >= target) {
+                const double lo =
+                    min_ + bucketSize_ * static_cast<double>(i);
+                estimate =
+                    lo + bucketSize_ * ((target - cumulative) / count);
+                break;
+            }
+            cumulative += count;
+        }
+    }
+    return std::min(std::max(estimate, minSample_), maxSample_);
+}
+
 void
 Distribution::dump(std::ostream &os, const std::string &prefix) const
 {
@@ -157,6 +187,12 @@ Distribution::dumpJson(std::ostream &os) const
     json::number(os, minSample_);
     os << ",\"max\":";
     json::number(os, maxSample_);
+    // Derived quantile *estimates* (bucket interpolation, clamped to
+    // [min, max)); exact-rank percentiles live in stats::Histogram.
+    os << ",\"p50_est\":";
+    json::number(os, percentileEst(0.50));
+    os << ",\"p99_est\":";
+    json::number(os, percentileEst(0.99));
     os << ",\"underflow\":" << underflow_
        << ",\"overflow\":" << overflow_ << ",\"bucket_size\":";
     json::number(os, bucketSize_);

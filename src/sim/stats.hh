@@ -116,6 +116,15 @@ class Distribution : public Stat
     std::uint64_t underflow() const { return underflow_; }
     std::uint64_t overflow() const { return overflow_; }
 
+    /**
+     * Approximate q-quantile interpolated linearly inside the linear
+     * buckets and clamped to [min, max). An *estimate* only -- its
+     * error is bounded by one bucket width plus whatever lands in the
+     * underflow/overflow bins; stats that need exact tail ranks use a
+     * LatencyHistogram (stats::Histogram) instead.
+     */
+    double percentileEst(double q) const;
+
     void dump(std::ostream &os, const std::string &prefix) const override;
     void dumpJson(std::ostream &os) const override;
     void reset() override;

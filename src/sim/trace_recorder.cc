@@ -28,6 +28,8 @@ laneName(Lane lane)
       case Lane::Walker: return "page walkers";
       case Lane::Link: return "fabric links";
       case Lane::Message: return "fabric messages (per source)";
+      case Lane::Counter: return "counters";
+      case Lane::Shard: return "shard engine (window phases)";
       case Lane::NumLanes: break;
     }
     return "?";
@@ -123,7 +125,7 @@ TraceRecorder::span(Lane lane, std::uint32_t track, const char *name,
 {
     push(Record{name, arg0_name, arg1_name, start,
                 end > start ? end - start : 0, arg0, arg1, track, lane,
-                false});
+                Kind::Span});
 }
 
 void
@@ -132,7 +134,15 @@ TraceRecorder::instant(Lane lane, std::uint32_t track, const char *name,
                        const char *arg0_name, const char *arg1_name)
 {
     push(Record{name, arg0_name, arg1_name, at, 0, arg0, arg1, track,
-                lane, true});
+                lane, Kind::Instant});
+}
+
+void
+TraceRecorder::counter(std::uint32_t track, const char *name, Cycle at,
+                       std::uint64_t value)
+{
+    push(Record{name, nullptr, nullptr, at, 0, value, 0, track,
+                Lane::Counter, Kind::Counter});
 }
 
 std::vector<TraceRecorder::Record>
@@ -154,9 +164,21 @@ namespace
 void
 emitRecord(std::ostream &os, const TraceRecorder::Record &rec)
 {
+    using Kind = TraceRecorder::Kind;
+    if (rec.kind == Kind::Counter) {
+        // Counter samples carry exactly one value; Perfetto stacks
+        // samples with the same (pid, tid, name) into one track.
+        os << "{\"name\":\"" << json::escape(rec.name)
+           << "\",\"ph\":\"C\",\"ts\":" << rec.start
+           << ",\"pid\":" << static_cast<unsigned>(rec.lane)
+           << ",\"tid\":" << rec.track << ",\"args\":{\"value\":"
+           << rec.arg0 << "}}";
+        return;
+    }
     os << "{\"name\":\"" << json::escape(rec.name) << "\",\"ph\":\""
-       << (rec.instant ? 'i' : 'X') << "\",\"ts\":" << rec.start;
-    if (!rec.instant)
+       << (rec.kind == Kind::Instant ? 'i' : 'X')
+       << "\",\"ts\":" << rec.start;
+    if (rec.kind != Kind::Instant)
         os << ",\"dur\":" << rec.duration;
     else
         os << ",\"s\":\"t\"";

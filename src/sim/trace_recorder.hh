@@ -35,6 +35,8 @@ enum class Lane : std::uint8_t
     Walker,      ///< per-core page-table walkers
     Link,        ///< fabric link hold spans
     Message,     ///< fabric message setup/traversal and denials
+    Counter,     ///< sampled counter tracks (queue depth, misses, ...)
+    Shard,       ///< shard-engine window phases and crew park/wake
     NumLanes,
 };
 
@@ -51,18 +53,26 @@ const char *laneName(Lane lane);
 class TraceRecorder
 {
   public:
+    /** Record flavor, mapping 1:1 onto a Chrome "ph" phase. */
+    enum class Kind : std::uint8_t
+    {
+        Span,    ///< "ph":"X" complete event
+        Instant, ///< "ph":"i" point event
+        Counter, ///< "ph":"C" counter-track sample
+    };
+
     struct Record
     {
         const char *name;     ///< static string: event label
         const char *arg0Name; ///< static string or nullptr
         const char *arg1Name; ///< static string or nullptr
         Cycle start;
-        Cycle duration;       ///< 0 for instants
-        std::uint64_t arg0;
+        Cycle duration;       ///< 0 for instants and counters
+        std::uint64_t arg0;   ///< for counters: the sampled value
         std::uint64_t arg1;
         std::uint32_t track;  ///< Chrome tid within the lane
         Lane lane;
-        bool instant;
+        Kind kind;
     };
 
     /** The process-wide recorder used by the instrumentation points. */
@@ -100,6 +110,14 @@ class TraceRecorder
                  std::uint64_t arg1 = 0,
                  const char *arg0_name = nullptr,
                  const char *arg1_name = nullptr);
+
+    /**
+     * Record a counter-track sample: @p value at cycle @p at. Each
+     * distinct (track, name) pair renders as its own stacked counter
+     * track in Perfetto ("ph":"C"); @p name must be a string literal.
+     */
+    void counter(std::uint32_t track, const char *name, Cycle at,
+                 std::uint64_t value);
 
     /** Records in ring order, oldest first (test / analysis hook). */
     std::vector<Record> snapshot() const;

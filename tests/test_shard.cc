@@ -200,6 +200,46 @@ TEST(ShardCrew, ParallelModeBarriersEveryWindow)
     exerciseCrew(true);
 }
 
+TEST(ShardCrew, ParkHookReportsBalancedParkWakePairs)
+{
+    // The observability hook fires on the worker thread at every
+    // condvar park and wake; after the crew is destroyed, every park
+    // must have a matching wake (the destructor wakes sleepers before
+    // joining), and only worker shards (never shard 0) report.
+    std::mutex mutex;
+    std::vector<std::pair<unsigned, bool>> events;
+    {
+        sim::ShardCrew crew(
+            2, /*parallel=*/true, [&](unsigned shard, bool parked) {
+                std::lock_guard<std::mutex> lock(mutex);
+                events.emplace_back(shard, parked);
+            });
+        std::atomic<unsigned> hits{0};
+        crew.runWindow([&](unsigned) { hits.fetch_add(1); });
+        EXPECT_EQ(hits.load(), 2u);
+        // Idle long enough for the worker to fall through its
+        // spin-then-yield phases onto the condvar.
+        for (int i = 0; i < 5000; ++i) {
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                if (!events.empty() && events.back().second)
+                    break;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        // The next window must wake it again.
+        crew.runWindow([&](unsigned) {});
+    }
+    ASSERT_FALSE(events.empty()) << "worker never parked";
+    bool parked = false; // per-shard state; only shard 1 reports here
+    for (const auto &[shard, park] : events) {
+        EXPECT_EQ(shard, 1u);
+        EXPECT_NE(park, parked) << "park/wake must alternate";
+        parked = park;
+    }
+    EXPECT_FALSE(parked) << "crew destroyed with a worker parked";
+}
+
 // --------------------------------------------------------------------
 // The headline guarantee: byte-identical results at every shard count.
 
@@ -356,6 +396,52 @@ TEST(ShardIdentity, EpochStatsJsonIsByteIdentical)
     EXPECT_EQ(one, document(4));
     EXPECT_NE(one.find("\"epochs\":[{"), std::string::npos)
         << "epoch snapshots were expected in the document";
+}
+
+TEST(ShardIdentity, LatencyHistogramsAreByteIdenticalAcrossShards)
+{
+    // The latency histograms record through two different paths under
+    // the window engine (miss classes at replay, hit zeros folded per
+    // window from lane counters), so pin the full stats document --
+    // which embeds every histogram's buckets and percentiles -- across
+    // shard counts, per-context split included.
+    auto document = [](unsigned shards) {
+        SystemConfig config = smallConfig(core::OrgKind::Nocstar);
+        config.shards = shards;
+        config.latencyStats = true;
+        config.latencyPerContext = true;
+        System system(config);
+        system.run(2000);
+        std::ostringstream os;
+        system.dumpStatsJson(os);
+        return os.str();
+    };
+    std::string one = document(1);
+    EXPECT_EQ(one, document(2));
+    EXPECT_EQ(one, document(4));
+    EXPECT_NE(one.find("\"latency\":{"), std::string::npos)
+        << "latency histograms were expected in the document";
+    EXPECT_NE(one.find("\"ctx\":{"), std::string::npos)
+        << "per-context histograms were expected in the document";
+}
+
+TEST(ShardIdentity, LatencyStatsOffLeavesDocumentUnchanged)
+{
+    // With the knob off, the stats document must be byte-identical to
+    // one from a system that never had the feature: the latency group
+    // is created lazily, so its absence is the whole guarantee.
+    auto document = [](bool lat) {
+        SystemConfig config = smallConfig(core::OrgKind::Nocstar);
+        config.latencyStats = lat;
+        System system(config);
+        system.run(1000);
+        std::ostringstream os;
+        system.dumpStatsJson(os);
+        return os.str();
+    };
+    std::string off = document(false);
+    EXPECT_EQ(off.find("\"latency\""), std::string::npos);
+    EXPECT_NE(off, document(true));
 }
 
 TEST(ShardConfig, ValidationRejectsBadShardCounts)

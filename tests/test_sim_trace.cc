@@ -162,8 +162,8 @@ TEST(TraceRecorderTest, RecordsSpansAndInstants)
     EXPECT_EQ(records[0].start, 10u);
     EXPECT_EQ(records[0].duration, 15u);
     EXPECT_EQ(records[0].track, 2u);
-    EXPECT_FALSE(records[0].instant);
-    EXPECT_TRUE(records[1].instant);
+    EXPECT_EQ(records[0].kind, sim::TraceRecorder::Kind::Span);
+    EXPECT_EQ(records[1].kind, sim::TraceRecorder::Kind::Instant);
     EXPECT_EQ(records[1].duration, 0u);
 }
 
@@ -232,6 +232,53 @@ TEST(TraceRecorderTest, ChromeExportShape)
               std::count(text.begin(), text.end(), '}'));
     EXPECT_EQ(std::count(text.begin(), text.end(), '['),
               std::count(text.begin(), text.end(), ']'));
+}
+
+TEST(TraceRecorderTest, CounterSamplesExportAsCounterEvents)
+{
+    sim::TraceRecorder rec;
+    rec.start(8);
+    rec.counter(0, "queue depth", 10, 3);
+    rec.counter(1, "in-flight", 10, 7);
+    rec.counter(0, "queue depth", 20, 0);
+    rec.stop();
+
+    auto records = rec.snapshot();
+    ASSERT_EQ(records.size(), 3u);
+    EXPECT_EQ(records[0].kind, sim::TraceRecorder::Kind::Counter);
+    EXPECT_EQ(records[0].lane, sim::Lane::Counter);
+    EXPECT_EQ(records[0].arg0, 3u);
+    EXPECT_EQ(records[1].track, 1u);
+
+    std::ostringstream os;
+    rec.exportChromeJson(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("\"ph\":\"C\""), std::string::npos) << text;
+    EXPECT_NE(text.find("\"name\":\"queue depth\""), std::string::npos)
+        << text;
+    // A zero sample still exports (drops the track to the axis).
+    EXPECT_NE(text.find("\"ts\":20"), std::string::npos) << text;
+    EXPECT_EQ(std::count(text.begin(), text.end(), '{'),
+              std::count(text.begin(), text.end(), '}'));
+}
+
+TEST(TraceRecorderTest, CounterRingWrapKeepsNewestSamples)
+{
+    sim::TraceRecorder rec;
+    rec.start(4);
+    for (std::uint64_t i = 0; i < 10; ++i)
+        rec.counter(0, "depth", i * 5, i);
+    EXPECT_EQ(rec.size(), 4u);
+    EXPECT_EQ(rec.dropped(), 6u);
+    auto records = rec.snapshot();
+    ASSERT_EQ(records.size(), 4u);
+    // Oldest samples were overwritten; survivors stay chronological,
+    // so the exported counter track still has monotonic timestamps.
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(records[i].start, (i + 6) * 5);
+        EXPECT_EQ(records[i].arg0, i + 6);
+    }
+    rec.stop();
 }
 
 TEST(TraceRecorderTest, GlobalGateTracksStartStop)
