@@ -195,6 +195,29 @@ shardSelection()
 }
 
 /**
+ * Fabric selection, filled in by the --fabric option. When set, every
+ * NOCSTAR configuration a bench runs uses this fabric (flat
+ * circuit-switched mesh or the hierarchical crossbar-of-clusters
+ * hybrid); organizations without a fabric ignore it, so the flag is
+ * safe to apply sweep-wide.
+ */
+struct FabricSelection
+{
+    core::FabricKind kind = core::FabricKind::Flat;
+    unsigned clusterWidth = 0;
+    unsigned clusterHeight = 0;
+    bool set = false;
+};
+
+/** The process-wide fabric selection (set once at startup). */
+inline FabricSelection &
+fabricSelection()
+{
+    static FabricSelection sel;
+    return sel;
+}
+
+/**
  * Clamp @p jobs so that jobs x shards worker threads never exceed the
  * host's hardware threads (sweep workers and shard crews multiply, and
  * the shard crew spins between windows, so oversubscription destroys
@@ -243,6 +266,13 @@ applySelections(const cpu::SystemConfig &config)
     cfg.progressSeconds = obs.progressSeconds;
     if (faultSelection().configured)
         cfg.org.faults = faultSelection().plan;
+    if (fabricSelection().set &&
+        (cfg.org.kind == core::OrgKind::Nocstar ||
+         cfg.org.kind == core::OrgKind::NocstarIdeal)) {
+        cfg.org.fabricKind = fabricSelection().kind;
+        cfg.org.clusterWidth = fabricSelection().clusterWidth;
+        cfg.org.clusterHeight = fabricSelection().clusterHeight;
+    }
     if (shardSelection().set)
         cfg.shards = shardSelection().autoSelect
             ? sim::autoShards(cfg.org.numCores, shardSelection().jobsHint)
@@ -298,10 +328,10 @@ struct BenchArgs
 /**
  * Register the options every bench shares on @p parser: --jobs, the
  * observability group (`--trace[=FLAGS]`, `--trace-out FILE`,
- * `--stats-json FILE`, `--epoch N`, `--epoch-reset`) and the fault
- * group (`--fault-plan FILE`, `--fault-seed N`). The observability
- * and fault options write into the process-wide singletons; --jobs
- * writes into @p args.
+ * `--stats-json FILE`, `--epoch N`, `--epoch-reset`), the fault group
+ * (`--fault-plan FILE`, `--fault-seed N`), `--shards N|auto` and
+ * `--fabric flat|hier[:WxH]`. All of them write into the process-wide
+ * singletons; --jobs writes into @p args.
  */
 inline void
 addStandardBenchOptions(ArgParser &parser, BenchArgs &args)
@@ -417,6 +447,25 @@ addStandardBenchOptions(ArgParser &parser, BenchArgs &args)
         "results are byte-identical at every N), or 'auto' to pick N "
         "from the tile count, host cores and sweep jobs",
         "N");
+    parser.option(
+        "fabric",
+        [](const std::string &spec) {
+            core::OrgConfig probe;
+            if (std::string err = core::parseFabricSpec(spec, probe);
+                !err.empty()) {
+                std::fprintf(stderr, "--fabric: %s\n", err.c_str());
+                return false;
+            }
+            FabricSelection &sel = fabricSelection();
+            sel.kind = probe.fabricKind;
+            sel.clusterWidth = probe.clusterWidth;
+            sel.clusterHeight = probe.clusterHeight;
+            sel.set = true;
+            return true;
+        },
+        "NOCSTAR interconnect: flat (default), hier, or hier:WxH "
+        "(cluster geometry; hier alone picks it per mesh)",
+        "KIND");
     parser.option(
         "fault-seed",
         [](const std::string &value) {

@@ -8,7 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
-#include "core/fabric.hh"
+#include "core/interconnect.hh"
 #include "cpu/system.hh"
 #include "sim/random.hh"
 #include "tlb/set_assoc_tlb.hh"
@@ -56,12 +56,13 @@ BM_FabricUncontendedSend(benchmark::State &state)
     EventQueue queue;
     stats::StatGroup root("root");
     noc::GridTopology topo = noc::GridTopology::forCores(64);
-    core::NocstarFabric fabric("fabric", queue, topo, {}, &root);
+    auto fabric = core::makeInterconnect("fabric", queue, topo,
+                                         core::FabricConfig{}, &root);
     Random rng(3);
     for (auto _ : state) {
         CoreId src = static_cast<CoreId>(rng.below(64));
         CoreId dst = static_cast<CoreId>(rng.below(64));
-        fabric.send(src, dst, queue.curCycle(), [](Cycle) {});
+        fabric->send(src, dst, queue.curCycle(), [](Cycle) {});
         queue.run();
     }
 }

@@ -118,6 +118,34 @@ main(int argc, char **argv)
         "oneway | roundtrip (default oneway)", "MODE");
     parser.option("hpcmax", &config.org.hpcMax,
                   "fabric hops per cycle (default 16)");
+    parser.option(
+        "fabric",
+        [&config](const std::string &value) {
+            if (std::string err =
+                    core::parseFabricSpec(value, config.org);
+                !err.empty()) {
+                std::fprintf(stderr, "simulate: --fabric: %s\n",
+                             err.c_str());
+                return false;
+            }
+            return true;
+        },
+        "flat (default), hier, or hier:WxH cluster geometry "
+        "(NOCSTAR orgs only)",
+        "KIND");
+    parser.option(
+        "slice-map",
+        [&config](const std::string &value) {
+            if (value != "row-major" && value != "cluster-local")
+                return false;
+            config.org.sliceMapping = value == "cluster-local"
+                ? core::SliceMapping::ClusterLocal
+                : core::SliceMapping::RowMajor;
+            return true;
+        },
+        "row-major | cluster-local slice placement (default "
+        "row-major; cluster-local needs --fabric hier)",
+        "MAP");
     parser.option("leaders", &config.org.invalLeaderGroup,
                   "invalidation leader group (default 0)");
     parser.option("fixed-ptw", &config.walker.fixedLatency,

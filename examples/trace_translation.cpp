@@ -100,7 +100,7 @@ main(int argc, char **argv)
     // 5. The per-link occupancy heatmap from the fabric's vectors.
     if (auto *org = dynamic_cast<core::NocstarOrg *>(
             &system.organization())) {
-        const core::NocstarFabric &fabric = org->fabric();
+        const core::Interconnect &fabric = org->fabric();
         double busiest = 0;
         std::uint32_t busiest_link = 0;
         for (std::uint32_t l = 0; l < fabric.linkHoldCycles.size();

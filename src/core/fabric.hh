@@ -1,8 +1,8 @@
 /**
  * @file
- * The NOCSTAR interconnect (paper §III-B): a latchless, circuit-switched
- * side-band network giving near single-cycle traversal between any
- * L1 TLB and any L2 TLB slice.
+ * The flat NOCSTAR interconnect (paper §III-B): a latchless,
+ * circuit-switched side-band network giving near single-cycle
+ * traversal between any L1 TLB and any L2 TLB slice.
  *
  * Control path, modelled cycle-accurately:
  *  - a requester posts path-setup requests to the arbiter of *every*
@@ -19,207 +19,110 @@
  * Datapath: granted messages traverse muxes without latching, covering
  * up to HPCmax hops per cycle; longer paths take ceil(hops / HPCmax)
  * cycles through pipeline latches (§III-B3).
+ *
+ * The request queues, priority rotation and fault policy live in the
+ * Interconnect base; this class supplies the path/resource model. Only
+ * src/core/ includes this header -- everything else sees Interconnect
+ * and constructs through makeInterconnect().
  */
 
 #ifndef NOCSTAR_CORE_FABRIC_HH
 #define NOCSTAR_CORE_FABRIC_HH
 
-#include <deque>
-#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
-#include "core/config.hh"
-#include "noc/topology.hh"
-#include "sim/event_queue.hh"
-#include "sim/stats.hh"
+#include "core/interconnect.hh"
 
 namespace nocstar::core
 {
 
-/** Fabric tuning knobs. */
-struct FabricConfig
-{
-    unsigned hpcMax = 16;
-    Cycle priorityEpoch = 1000;
-    /** Contention-free mode: every setup succeeds (NOCSTAR-ideal). */
-    bool ideal = false;
-    /**
-     * Fault-injection plan (not owned; must outlive the fabric).
-     * Null or empty means no fault machinery is instantiated and
-     * every hot path behaves exactly as a fault-free build.
-     */
-    const sim::FaultPlan *faults = nullptr;
-};
-
 /**
- * Event-driven NOCSTAR fabric.
+ * Event-driven flat NOCSTAR fabric: one chip-wide circuit-switched
+ * mesh, XY paths.
  */
-class NocstarFabric : public stats::StatGroup
+class NocstarFabric final : public Interconnect
 {
   public:
     /**
-     * Invoked when the message is latched at the destination tile.
-     * Inline capacity fits the largest organization continuation
-     * (NOCSTAR remote lookup carrying the entry and the requester's
-     * completion callback).
+     * Largest tile count that keeps the dense per-pair path table
+     * (O(tiles^2 x mean hops) words). Above it paths are materialized
+     * on demand into two reusable scratch buffers instead, so a
+     * 1024-tile fabric costs O(tiles) memory, not gigawords. A fault
+     * plan forces the table at any size: route-around rewrites paths,
+     * which needs them stored.
      */
-    using DeliverFn = InlineFunction<void(Cycle arrival), 192>;
+    static constexpr unsigned kPathTableMaxTiles = 256;
 
     NocstarFabric(const std::string &name, EventQueue &queue,
                   const noc::GridTopology &topo,
                   const FabricConfig &config,
                   stats::StatGroup *parent = nullptr);
 
-    ~NocstarFabric() override;
+    /** Hop count of the current path src -> dst. */
+    unsigned
+    pathHops(CoreId src, CoreId dst) const override
+    {
+        if (pathOffset_.empty())
+            return topo_.hops(src, dst);
+        std::size_t pair = pairIndex(src, dst);
+        return pathOffset_[pair + 1] - pathOffset_[pair];
+    }
 
+    /** Traversal cycles of the granted path src -> dst. */
+    Cycle
+    traversal(CoreId src, CoreId dst) const override
+    {
+        return traversalCycles(pathHops(src, dst));
+    }
+
+    void pathLinksInto(CoreId src, CoreId dst,
+                       std::vector<std::uint32_t> &out) const override;
+
+  protected:
+    bool tryAcquire(const Request &req, Cycle now) override;
+    bool pairUnreachable(const Request &req) const override;
+
+    /** Recompute paths around the newly dead link (rebuildPaths). */
+    void
+    onPermanentLinkDeath(std::uint32_t) override
+    {
+        rebuildPaths();
+    }
+
+  private:
     /**
-     * One-way message: arbitration begins at max(now, curCycle); on
-     * success the message arrives ceil(hops/HPCmax) cycles after its
-     * setup cycle. Local (src == dst) messages deliver immediately.
-     *
-     * Each source tile has a single path-setup port (one set of
-     * request wires to the arbiters), so its outstanding messages
-     * arbitrate oldest-first, one per cycle.
-     */
-    void send(CoreId src, CoreId dst, Cycle now, DeliverFn deliver);
-
-    /**
-     * Round-trip acquisition (Fig 16 left): the forward *and* reverse
-     * paths are held from the setup cycle until the response has
-     * returned, @p occupancy cycles after the request arrives at the
-     * destination. @p deliver fires at the destination arrival; the
-     * caller schedules the response completion itself (the return path
-     * is pre-granted, adding one traversal).
-     */
-    void sendRoundTrip(CoreId src, CoreId dst, Cycle now, Cycle occupancy,
-                       DeliverFn deliver);
-
-    const noc::GridTopology &topology() const { return topo_; }
-
-    /**
-     * Flattened link ids of the XY path src -> dst, from the table
-     * precomputed at construction (arbitration allocates nothing per
-     * attempt). Matches GridTopology::xyPath link-for-link.
+     * Flattened link ids of the current path src -> dst from the
+     * precomputed table. Matches GridTopology::xyPath link-for-link
+     * until route-around rewrites the pair.
      */
     std::span<const std::uint32_t>
-    pathLinks(CoreId src, CoreId dst) const
+    tableLinks(CoreId src, CoreId dst) const
     {
         std::size_t pair = pairIndex(src, dst);
         return {pathLinks_.data() + pathOffset_[pair],
                 pathOffset_[pair + 1] - pathOffset_[pair]};
     }
 
-    /** Hop count of the precomputed XY path src -> dst. */
-    unsigned
-    pathHops(CoreId src, CoreId dst) const
-    {
-        std::size_t pair = pairIndex(src, dst);
-        return pathOffset_[pair + 1] - pathOffset_[pair];
-    }
-
-    /** Traversal cycles for a granted path of @p hops hops. */
-    Cycle
-    traversalCycles(unsigned hops) const
-    {
-        if (hops == 0)
-            return 0;
-        return (hops + config_.hpcMax - 1) / config_.hpcMax;
-    }
-
-    // Statistics exercised by the figures.
-    stats::Scalar messagesSent;
-    stats::Scalar setupAttempts;
-    stats::Scalar setupFailures;
-    /** Messages that experienced no contention delay at all (granted
-     * in the cycle they were posted, no port queueing, no retry). */
-    stats::Scalar zeroRetryMessages;
-    stats::Scalar totalNetworkLatency; ///< send-call -> delivery cycles
-    stats::Distribution retryDistribution;
-    // Per-link load-imbalance telemetry, indexed by flattened link id
-    // (GridTopology::LinkId::flatten()): how often each link was
-    // acquired, how often it was the first blocker of a failed setup,
-    // and for how many cycles in total it was held. linkHoldCycles
-    // against the run length is the per-link occupancy heatmap.
-    stats::Vector linkGrants;
-    stats::Vector linkDenies;
-    stats::Vector linkHoldCycles;
-    // Fault-injection / resilience telemetry. All stay zero (and cost
-    // nothing on the hot path) unless a fault plan is configured.
-    stats::Scalar faultsInjected; ///< outages begun + grants lost
-    /** Messages that gave up on circuit setup and fell back to the
-     * store-and-forward maintenance mesh. */
-    stats::Scalar degradedMessages;
-    stats::Scalar backoffCycles; ///< extra wait beyond the 1-cycle retry
-    stats::Scalar watchdogTrips; ///< messages rescued by the watchdog
-    /** Cycles each link spent inside a fault window, indexed like
-     * linkGrants (brought current by syncFaultStats()). */
-    stats::Vector linkDeadCycles;
-
     /**
-     * Bring linkDeadCycles current through @p now. Called before epoch
-     * snapshots and at end of run; no-op without a fault plan.
+     * The path src -> dst without per-attempt allocation: a table span
+     * when the table exists, otherwise the XY path filled into scratch
+     * buffer @p slot (0 forward, 1 reverse -- both directions of a
+     * round trip must be live at once).
      */
-    void syncFaultStats(Cycle now);
-
-    /**
-     * True only while a delivery callback of a degraded (mesh-
-     * fallback) message is running. The organization continuations
-     * read it inside their DeliverFn bodies to tag the translation
-     * they are completing; the single-threaded event queue guarantees
-     * deliveries never nest across messages.
-     */
-    bool deliveredDegraded() const { return deliveringDegraded_; }
-
-    /** Directed links held at cycle @p now (counter-track sampling). */
-    unsigned
-    linksHeld(Cycle now) const
+    std::span<const std::uint32_t>
+    pathSpan(CoreId src, CoreId dst, unsigned slot)
     {
-        unsigned held = 0;
-        for (Cycle until : linkHeldUntil_)
-            held += until > now ? 1 : 0;
-        return held;
+        if (!pathOffset_.empty())
+            return tableLinks(src, dst);
+        scratch_[slot].clear();
+        topo_.xyLinksInto(src, dst, scratch_[slot]);
+        return scratch_[slot];
     }
 
-    /** Average cycles from send() to delivery, network portion only. */
-    double
-    averageLatency() const
-    {
-        double n = messagesSent.value();
-        return n > 0 ? totalNetworkLatency.value() / n : 0.0;
-    }
-
-    /** Fraction of messages that acquired their path with no retry. */
-    double
-    noContentionFraction() const
-    {
-        double n = messagesSent.value();
-        return n > 0 ? zeroRetryMessages.value() / n : 0.0;
-    }
-
-  private:
-    struct Request
-    {
-        CoreId src;
-        CoreId dst;
-        Cycle posted; ///< cycle of the original send() call
-        Cycle activeAt; ///< earliest cycle this request may arbitrate
-        Cycle holdExtra; ///< extra link-hold cycles (round-trip mode)
-        bool roundTrip;
-        unsigned retries;
-        std::uint64_t seq; ///< FIFO tiebreak among same-source requests
-        DeliverFn deliver;
-    };
-
-    /** Run one arbitration round for the current cycle. */
-    void arbitrate();
-
-    /** Try to reserve all links of @p req's path(s). */
-    bool tryAcquire(const Request &req, Cycle now);
-
-    /** A link fault window just opened: mark it, reroute if permanent. */
-    void activateFault(const sim::LinkFaultSpec &fault);
+    /** Build pathLinks_/pathOffset_ from the topology (ctor only). */
+    void buildPathTable();
 
     /**
      * Recompute the path table around permanently dead links. Only
@@ -229,65 +132,17 @@ class NocstarFabric : public stats::StatGroup
      */
     void rebuildPaths();
 
-    /** Pop @p src's head request and deliver it over the fallback
-     * store-and-forward mesh instead of the circuit fabric. */
-    void degrade(CoreId src, Cycle now);
-
-    void scheduleArbitration(Cycle when);
-
-    std::size_t
-    pairIndex(CoreId src, CoreId dst) const
-    {
-        return static_cast<std::size_t>(src) * topo_.numTiles() + dst;
-    }
-
-    /** Build pathLinks_/pathOffset_ from the topology (ctor only). */
-    void buildPathTable();
-
-    EventQueue &queue_;
-    noc::GridTopology topo_;
-    FabricConfig config_;
-
-    /** Cycle through which each directed link is held (exclusive). */
-    std::vector<Cycle> linkHeldUntil_;
     /**
      * Precomputed XY paths for all (src, dst) pairs: the links of
      * pair p live at pathLinks_[pathOffset_[p] .. pathOffset_[p+1]).
+     * Both empty above kPathTableMaxTiles (without faults).
      */
     std::vector<std::uint32_t> pathOffset_;
     std::vector<std::uint32_t> pathLinks_;
-    /** Scratch list of arbitrating sources, reused across rounds. */
-    std::vector<CoreId> contenders_;
-    /** Per-source FIFO of waiting requests (one setup port each). */
-    std::vector<std::deque<Request>> pending_;
-    /**
-     * One bit per source tile, set while its FIFO is non-empty, so
-     * arbitration rounds visit only tiles with work instead of
-     * scanning every queue.
-     */
-    std::vector<std::uint64_t> pendingBits_;
-    std::size_t numPending_ = 0;
-    Cycle arbitrationScheduledFor_ = invalidCycle;
-    std::uint64_t nextSeq_ = 0;
-    LambdaEvent arbitrationEvent_;
-
-    // Fault machinery; allocated only when config_.faults is a
-    // non-empty plan, so the guards below reduce to one null check.
-    /** Seeded draw source for grant loss (Stream::Fabric). */
-    std::unique_ptr<sim::FaultInjector> faults_;
-    /** Cycle through which each link is fault-disabled (exclusive);
-     * invalidCycle for permanently dead links. */
-    std::vector<Cycle> linkFaultyUntil_;
-    std::vector<std::uint8_t> linkDeadPermanent_;
     /** Per (src, dst) pair: no circuit path survives route-around. */
     std::vector<std::uint8_t> pairDegraded_;
-    /** Per-link next-free cycle of the fallback mesh (QueuedMesh
-     * model: router + wire cycle per hop, one flit per link-cycle). */
-    std::vector<Cycle> meshLinkFree_;
-    /** linkDeadCycles is accounted through this cycle. */
-    Cycle faultStatsThrough_ = 0;
-    /** See deliveredDegraded(). */
-    bool deliveringDegraded_ = false;
+    /** On-demand path buffers (tables disabled): forward / reverse. */
+    std::vector<std::uint32_t> scratch_[2];
 };
 
 } // namespace nocstar::core

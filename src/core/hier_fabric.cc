@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Hierarchical hybrid fabric: crossbar clusters over a circuit-switched
+ * cluster mesh, behind the shared Interconnect arbitration engine.
+ */
+
+#include "core/hier_fabric.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/trace.hh"
+#include "sim/trace_recorder.hh"
+
+namespace nocstar::core
+{
+
+HierFabric::HierFabric(const std::string &name, EventQueue &queue,
+                       const noc::GridTopology &topo,
+                       const FabricConfig &config,
+                       stats::StatGroup *parent)
+    : Interconnect(name, queue, topo, config, parent),
+      clusterLocalMessages(this, "cluster_local_messages",
+                           "messages granted within one crossbar"),
+      interClusterMessages(this, "inter_cluster_messages",
+                           "messages granted over the cluster mesh"),
+      xbarDenies(this, "xbar_denies",
+                 "failed setups a crossbar port blocked first"),
+      clusterW_(1), clusterH_(1), clusterGrid_(1, 1)
+{
+    resolveClusterGeometry(config_, topo_, clusterW_, clusterH_);
+    clusterGrid_ = noc::GridTopology(topo_.width() / clusterW_,
+                                     topo_.height() / clusterH_);
+
+    clusterOfTile_.resize(topo_.numTiles());
+    for (CoreId t = 0; t < topo_.numTiles(); ++t) {
+        noc::Coord c = topo_.coordOf(t);
+        clusterOfTile_[t] = clusterGrid_.tileAt(
+            {c.x / clusterW_, c.y / clusterH_});
+    }
+    gateway_.resize(clusterGrid_.numTiles());
+    for (unsigned cl = 0; cl < clusterGrid_.numTiles(); ++cl) {
+        noc::Coord cc = clusterGrid_.coordOf(cl);
+        gateway_[cl] =
+            topo_.tileAt({cc.x * clusterW_, cc.y * clusterH_});
+    }
+    xbarHeldUntil_.assign(topo_.numTiles(), 0);
+    buildClusterPaths();
+    if (faults_)
+        clusterPairDegraded_.assign(
+            static_cast<std::size_t>(numClusters()) * numClusters(), 0);
+}
+
+void
+HierFabric::buildClusterPaths()
+{
+    unsigned nc = clusterGrid_.numTiles();
+    cPathOffset_.assign(static_cast<std::size_t>(nc) * nc + 1, 0);
+    std::size_t total = 0;
+    for (unsigned cs = 0; cs < nc; ++cs)
+        for (unsigned cd = 0; cd < nc; ++cd)
+            total += clusterGrid_.hops(cs, cd);
+    if (total > std::numeric_limits<std::uint32_t>::max())
+        fatal("cluster path table needs ", total,
+              " entries, past the 32-bit offset space; the ", nc,
+              "-cluster grid is too large for stored paths");
+    cPathLinks_.reserve(total);
+
+    for (unsigned cs = 0; cs < nc; ++cs) {
+        for (unsigned cd = 0; cd < nc; ++cd) {
+            // Cluster links are flattened in the tile link id space via
+            // their gateway tiles, so stats vectors, heatmaps and fault
+            // plans are shared with the flat fabric.
+            for (const noc::LinkId &link : clusterGrid_.xyPath(cs, cd))
+                cPathLinks_.push_back(
+                    gateway_[link.node] * 4 +
+                    static_cast<std::uint32_t>(link.dir));
+            cPathOffset_[static_cast<std::size_t>(cs) * nc + cd + 1] =
+                static_cast<std::uint32_t>(cPathLinks_.size());
+        }
+    }
+}
+
+unsigned
+HierFabric::pathHops(CoreId src, CoreId dst) const
+{
+    if (src == dst)
+        return 0;
+    unsigned cs = clusterOfTile_[src], cd = clusterOfTile_[dst];
+    if (cs == cd)
+        return 1;
+    return (src != gateway_[cs] ? 1 : 0) +
+           static_cast<unsigned>(clusterLinks(cs, cd).size()) +
+           (dst != gateway_[cd] ? 1 : 0);
+}
+
+Cycle
+HierFabric::traversal(CoreId src, CoreId dst) const
+{
+    if (src == dst)
+        return 0;
+    unsigned cs = clusterOfTile_[src], cd = clusterOfTile_[dst];
+    if (cs == cd)
+        return 1;
+    // Crossbar climb to the gateway, pipelined cluster mesh, crossbar
+    // descent -- each crossbar stage skipped when the endpoint is its
+    // cluster's gateway.
+    return (src != gateway_[cs] ? 1 : 0) +
+           traversalCycles(
+               static_cast<unsigned>(clusterLinks(cs, cd).size())) +
+           (dst != gateway_[cd] ? 1 : 0);
+}
+
+void
+HierFabric::pathLinksInto(CoreId src, CoreId dst,
+                          std::vector<std::uint32_t> &out) const
+{
+    unsigned cs = clusterOfTile_[src], cd = clusterOfTile_[dst];
+    if (cs == cd)
+        return; // crossbar hops occupy no mesh links
+    std::span<const std::uint32_t> path = clusterLinks(cs, cd);
+    out.insert(out.end(), path.begin(), path.end());
+}
+
+bool
+HierFabric::pairUnreachable(const Request &req) const
+{
+    unsigned cs = clusterOfTile_[req.src], cd = clusterOfTile_[req.dst];
+    if (cs == cd)
+        return false; // the crossbar has no faultable links
+    std::size_t nc = numClusters();
+    return clusterPairDegraded_[cs * nc + cd] ||
+           (req.roundTrip && clusterPairDegraded_[cd * nc + cs]);
+}
+
+bool
+HierFabric::tryAcquire(const Request &req, Cycle now)
+{
+    Cycle trav = traversal(req.src, req.dst);
+    Cycle hold = req.roundTrip ? 2 * trav + req.holdExtra : trav;
+    bool record = sim::recording();
+
+    auto holdXbar = [&](CoreId t, const char *label) {
+        xbarHeldUntil_[t] = std::max(xbarHeldUntil_[t], now + hold);
+        if (record)
+            sim::recorder().span(sim::Lane::Link, xbarLaneOf(t), label,
+                                 now, now + hold, req.src, req.dst,
+                                 "src", "dst");
+    };
+
+    unsigned cs = clusterOfTile_[req.src], cd = clusterOfTile_[req.dst];
+    if (cs == cd) {
+        // Single crossbar hop: the output port of the tile reached
+        // (and of the source for the pre-granted return).
+        if (!config_.ideal) {
+            if (xbarHeldUntil_[req.dst] > now) {
+                ++xbarDenies;
+                return false;
+            }
+            if (req.roundTrip && xbarHeldUntil_[req.src] > now) {
+                ++xbarDenies;
+                return false;
+            }
+        }
+        if (faults_ && faults_->loseGrant()) {
+            ++faultsInjected;
+            return false;
+        }
+        holdXbar(req.dst, "xbar held");
+        if (req.roundTrip)
+            holdXbar(req.src, "xbar held (reverse)");
+        ++clusterLocalMessages;
+        return true;
+    }
+
+    CoreId gwS = gateway_[cs], gwD = gateway_[cd];
+    bool srcXbar = req.src != gwS;
+    bool dstXbar = req.dst != gwD;
+    std::span<const std::uint32_t> path = clusterLinks(cs, cd);
+    std::span<const std::uint32_t> reverse;
+    if (req.roundTrip)
+        reverse = clusterLinks(cd, cs);
+
+    if (!config_.ideal) {
+        // Resources in message order: gateway climb, cluster mesh,
+        // destination descent; then the reverse chain for round trips.
+        if (srcXbar && xbarHeldUntil_[gwS] > now) {
+            ++xbarDenies;
+            return false;
+        }
+        for (std::uint32_t link : path) {
+            if (linkHeldUntil_[link] > now) {
+                linkDenies[link] += 1;
+                return false;
+            }
+        }
+        if (dstXbar && xbarHeldUntil_[req.dst] > now) {
+            ++xbarDenies;
+            return false;
+        }
+        if (req.roundTrip) {
+            if (dstXbar && xbarHeldUntil_[gwD] > now) {
+                ++xbarDenies;
+                return false;
+            }
+            for (std::uint32_t link : reverse) {
+                if (linkHeldUntil_[link] > now) {
+                    linkDenies[link] += 1;
+                    return false;
+                }
+            }
+            if (srcXbar && xbarHeldUntil_[req.src] > now) {
+                ++xbarDenies;
+                return false;
+            }
+        }
+    }
+
+    if (faults_) {
+        // Fault-disabled mesh links deny even the ideal fabric.
+        for (std::uint32_t link : path) {
+            if (linkFaultyUntil_[link] > now) {
+                linkDenies[link] += 1;
+                return false;
+            }
+        }
+        for (std::uint32_t link : reverse) {
+            if (linkFaultyUntil_[link] > now) {
+                linkDenies[link] += 1;
+                return false;
+            }
+        }
+        if (faults_->loseGrant()) {
+            ++faultsInjected;
+            return false;
+        }
+    }
+
+    auto holdLink = [&](std::uint32_t link, const char *label) {
+        linkHeldUntil_[link] = std::max(linkHeldUntil_[link], now + hold);
+        linkGrants[link] += 1;
+        linkHoldCycles[link] += static_cast<double>(hold);
+        if (record)
+            sim::recorder().span(sim::Lane::Link, link, label, now,
+                                 now + hold, req.src, req.dst, "src",
+                                 "dst");
+    };
+    if (srcXbar)
+        holdXbar(gwS, "xbar held");
+    for (std::uint32_t link : path)
+        holdLink(link, "held");
+    if (dstXbar)
+        holdXbar(req.dst, "xbar held");
+    if (req.roundTrip) {
+        if (dstXbar)
+            holdXbar(gwD, "xbar held (reverse)");
+        for (std::uint32_t link : reverse)
+            holdLink(link, "held (reverse)");
+        if (srcXbar)
+            holdXbar(req.src, "xbar held (reverse)");
+    }
+    ++interClusterMessages;
+    return true;
+}
+
+void
+HierFabric::onPermanentLinkDeath(std::uint32_t)
+{
+    // A dead link that is not a cluster-mesh link appears in no stored
+    // path; the rebuild then keeps every pair bit-for-bit.
+    rebuildClusterPaths();
+}
+
+void
+HierFabric::rebuildClusterPaths()
+{
+    unsigned nc = clusterGrid_.numTiles();
+    std::vector<std::uint32_t> offsets(
+        static_cast<std::size_t>(nc) * nc + 1, 0);
+    std::vector<std::uint32_t> links;
+    links.reserve(cPathLinks_.size());
+
+    // BFS tree from one source cluster over the surviving cluster-mesh
+    // links, neighbours in fixed E, W, N, S order, mirroring the flat
+    // fabric's deterministic route-around.
+    std::vector<std::int32_t> parent(nc);
+    std::vector<std::uint32_t> viaLink(nc, 0);
+    std::vector<unsigned> order;
+    std::int64_t treeFor = -1;
+    auto ensureTree = [&](unsigned src) {
+        if (treeFor == static_cast<std::int64_t>(src))
+            return;
+        treeFor = src;
+        std::fill(parent.begin(), parent.end(), -1);
+        parent[src] = static_cast<std::int32_t>(src);
+        order.clear();
+        order.push_back(src);
+        static constexpr struct { int dx, dy; } step[4] = {
+            {1, 0}, {-1, 0}, {0, -1}, {0, 1}}; // E, W, N, S
+        for (std::size_t head = 0; head < order.size(); ++head) {
+            unsigned at = order[head];
+            noc::Coord c = clusterGrid_.coordOf(at);
+            for (unsigned d = 0; d < 4; ++d) {
+                int nx = static_cast<int>(c.x) + step[d].dx;
+                int ny = static_cast<int>(c.y) + step[d].dy;
+                if (nx < 0 || ny < 0 ||
+                    nx >= static_cast<int>(clusterGrid_.width()) ||
+                    ny >= static_cast<int>(clusterGrid_.height()))
+                    continue;
+                std::uint32_t link = gateway_[at] * 4 + d;
+                if (linkDeadPermanent_[link])
+                    continue;
+                unsigned to = clusterGrid_.tileAt(
+                    {static_cast<unsigned>(nx),
+                     static_cast<unsigned>(ny)});
+                if (parent[to] >= 0)
+                    continue;
+                parent[to] = static_cast<std::int32_t>(at);
+                viaLink[to] = link;
+                order.push_back(to);
+            }
+        }
+    };
+
+    std::vector<std::uint32_t> reversed;
+    for (unsigned cs = 0; cs < nc; ++cs) {
+        for (unsigned cd = 0; cd < nc; ++cd) {
+            std::size_t pair = static_cast<std::size_t>(cs) * nc + cd;
+            std::span<const std::uint32_t> old = clusterLinks(cs, cd);
+            bool crossesDead = false;
+            for (std::uint32_t link : old) {
+                if (linkDeadPermanent_[link]) {
+                    crossesDead = true;
+                    break;
+                }
+            }
+            if (!crossesDead) {
+                links.insert(links.end(), old.begin(), old.end());
+            } else {
+                ensureTree(cs);
+                if (parent[cd] < 0) {
+                    clusterPairDegraded_[pair] = 1;
+                    TRACE(Fabric, "no surviving cluster path ", cs,
+                          " -> ", cd,
+                          "; pair degraded to fallback mesh");
+                } else {
+                    clusterPairDegraded_[pair] = 0;
+                    reversed.clear();
+                    for (unsigned at = cd; at != cs;
+                         at = static_cast<unsigned>(parent[at]))
+                        reversed.push_back(viaLink[at]);
+                    links.insert(links.end(), reversed.rbegin(),
+                                 reversed.rend());
+                }
+            }
+            offsets[pair + 1] =
+                static_cast<std::uint32_t>(links.size());
+        }
+    }
+    cPathOffset_ = std::move(offsets);
+    cPathLinks_ = std::move(links);
+}
+
+} // namespace nocstar::core

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The hierarchical hybrid NOCSTAR fabric for the 256-1024-tile design
+ * points (TeraNoC-style, PAPERS.md): tiles are grouped into rectangular
+ * clusters; within a cluster every tile reaches every other through a
+ * single-cycle crossbar, and clusters are joined by a circuit-switched
+ * mesh with the same all-links-ANDed setup and rotating chip-wide
+ * priority as the flat fabric.
+ *
+ * Resource model:
+ *  - an intra-cluster hop occupies the crossbar output port of the
+ *    tile it reaches (one message per port per cycle) and costs one
+ *    cycle;
+ *  - an inter-cluster message climbs to its cluster's gateway over the
+ *    crossbar (skipped when the source *is* the gateway), crosses the
+ *    cluster mesh in ceil(clusterHops / HPCmax) cycles, and descends to
+ *    the destination over its cluster's crossbar;
+ *  - cluster mesh links are identified in the *tile* link id space as
+ *    (gateway tile) * 4 + direction, so the per-link stats vectors,
+ *    heatmap export and fault plans are shared with the flat fabric --
+ *    and a 1x1-cluster hierarchy is link-for-link identical to it.
+ *
+ * Memory at scale is cluster-factored: the only per-pair table is over
+ * cluster pairs (a 1024-tile mesh in 4x4 clusters stores 64x64 paths,
+ * not 1024x1024), and per-tile state is O(tiles).
+ */
+
+#ifndef NOCSTAR_CORE_HIER_FABRIC_HH
+#define NOCSTAR_CORE_HIER_FABRIC_HH
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/interconnect.hh"
+
+namespace nocstar::core
+{
+
+/**
+ * Hierarchical crossbar-of-clusters fabric behind the Interconnect
+ * seam.
+ */
+class HierFabric final : public Interconnect
+{
+  public:
+    HierFabric(const std::string &name, EventQueue &queue,
+               const noc::GridTopology &topo, const FabricConfig &config,
+               stats::StatGroup *parent = nullptr);
+
+    unsigned pathHops(CoreId src, CoreId dst) const override;
+    Cycle traversal(CoreId src, CoreId dst) const override;
+    void pathLinksInto(CoreId src, CoreId dst,
+                       std::vector<std::uint32_t> &out) const override;
+
+    /** Mesh links plus crossbar output ports held at @p now. */
+    unsigned
+    linksHeld(Cycle now) const override
+    {
+        unsigned held = Interconnect::linksHeld(now);
+        for (Cycle until : xbarHeldUntil_)
+            held += until > now ? 1 : 0;
+        return held;
+    }
+
+    /** Cluster of @p tile (flattened over the cluster grid). */
+    unsigned clusterOf(CoreId tile) const { return clusterOfTile_[tile]; }
+
+    /** Gateway (top-left) tile of @p cluster. */
+    CoreId gatewayOf(unsigned cluster) const { return gateway_[cluster]; }
+
+    unsigned numClusters() const { return clusterGrid_.numTiles(); }
+
+    // Hierarchy-specific telemetry, registered after the shared stats
+    // so fabric-agnostic stats documents keep their layout.
+    stats::Scalar clusterLocalMessages; ///< granted within one crossbar
+    stats::Scalar interClusterMessages; ///< granted over the cluster mesh
+    /** Failed setups first blocked by a busy crossbar output port. */
+    stats::Scalar xbarDenies;
+
+  protected:
+    bool tryAcquire(const Request &req, Cycle now) override;
+    bool pairUnreachable(const Request &req) const override;
+    void onPermanentLinkDeath(std::uint32_t link) override;
+
+  private:
+    /** Cluster-mesh links of cluster pair cs -> cd (tile link ids). */
+    std::span<const std::uint32_t>
+    clusterLinks(unsigned cs, unsigned cd) const
+    {
+        std::size_t pair =
+            static_cast<std::size_t>(cs) * clusterGrid_.numTiles() + cd;
+        return {cPathLinks_.data() + cPathOffset_[pair],
+                cPathOffset_[pair + 1] - cPathOffset_[pair]};
+    }
+
+    /** Build the cluster-pair path table (ctor only). */
+    void buildClusterPaths();
+
+    /** Recompute cluster paths around permanently dead mesh links. */
+    void rebuildClusterPaths();
+
+    /** Trace-lane id of tile @p t's crossbar port: the ids above the
+     * mesh link space, so Lane::Link rows never collide. */
+    std::uint32_t
+    xbarLaneOf(CoreId t) const
+    {
+        return topo_.linkIndexSpace() + t;
+    }
+
+    unsigned clusterW_;
+    unsigned clusterH_;
+    /** The cluster grid (width/clusterW_ x height/clusterH_). */
+    noc::GridTopology clusterGrid_;
+    /** Tile -> cluster (O(tiles)). */
+    std::vector<std::uint32_t> clusterOfTile_;
+    /** Cluster -> gateway tile. */
+    std::vector<CoreId> gateway_;
+    /** Cycle through which each crossbar output port is held. */
+    std::vector<Cycle> xbarHeldUntil_;
+    /**
+     * Cluster-factored path table: XY (rerouted when faulted) paths
+     * over the cluster grid for every cluster pair, links flattened in
+     * the tile link id space via the gateway tiles.
+     */
+    std::vector<std::uint32_t> cPathOffset_;
+    std::vector<std::uint32_t> cPathLinks_;
+    /** Per cluster pair: no circuit path survives route-around. */
+    std::vector<std::uint8_t> clusterPairDegraded_;
+};
+
+} // namespace nocstar::core
+
+#endif // NOCSTAR_CORE_HIER_FABRIC_HH

@@ -1,0 +1,380 @@
+/**
+ * @file
+ * The shared circuit-switched arbitration engine behind the
+ * Interconnect seam.
+ *
+ * Timing convention: a send() posted in cycle T arbitrates in T (the
+ * "path setup" cycle); granted data occupies its resources during
+ * cycles (T, T+traversal] and is latched at the destination at
+ * T+traversal. Reported network latency counts the setup cycle plus
+ * traversal and any waiting, so an uncontended single-hop message
+ * costs 2 cycles, matching §V ("1 cycle in path setup and another
+ * cycle to traverse").
+ *
+ * Each tile owns a single set of path-setup request wires, so at most
+ * one request per source arbitrates per cycle; younger requests from
+ * the same tile queue behind it. This keeps a saturated fabric's
+ * arbitration cost bounded by the tile count per cycle.
+ */
+
+#include "core/interconnect.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "sim/trace.hh"
+#include "sim/trace_recorder.hh"
+
+namespace nocstar::core
+{
+
+Interconnect::Interconnect(const std::string &name, EventQueue &queue,
+                           const noc::GridTopology &topo,
+                           const FabricConfig &config,
+                           stats::StatGroup *parent)
+    : stats::StatGroup(name, parent),
+      messagesSent(this, "messages", "messages delivered"),
+      setupAttempts(this, "setup_attempts", "path setup attempts"),
+      setupFailures(this, "setup_failures", "failed setup attempts"),
+      zeroRetryMessages(this, "zero_retry_messages",
+                        "messages with no contention delay"),
+      totalNetworkLatency(this, "network_latency",
+                          "total setup+traversal+wait cycles"),
+      retryDistribution(this, "retries", "setup retries per message",
+                        0, 64, 1),
+      linkGrants(this, "link_grants", "path grants per link",
+                 topo.linkIndexSpace()),
+      linkDenies(this, "link_denies",
+                 "failed setups this link blocked first",
+                 topo.linkIndexSpace()),
+      linkHoldCycles(this, "link_hold_cycles",
+                     "total cycles each link was held",
+                     topo.linkIndexSpace()),
+      faultsInjected(this, "faults_injected",
+                     "link outages begun plus grants lost"),
+      degradedMessages(this, "degraded_messages",
+                       "messages delivered over the fallback mesh"),
+      backoffCycles(this, "backoff_cycles",
+                    "retry wait cycles beyond the 1-cycle minimum"),
+      watchdogTrips(this, "watchdog_trips",
+                    "stalled messages rescued by the watchdog"),
+      linkDeadCycles(this, "link_dead_cycles",
+                     "cycles each link spent fault-disabled",
+                     topo.linkIndexSpace()),
+      queue_(queue), topo_(topo), config_(config),
+      linkHeldUntil_(topo.linkIndexSpace(), 0),
+      pending_(topo.numTiles()),
+      pendingBits_((topo.numTiles() + 63) / 64, 0),
+      arbitrationEvent_([this] { arbitrate(); },
+                        Event::arbitrationPriority)
+{
+    if (config_.hpcMax == 0)
+        fatal("NOCSTAR fabric needs hpcMax >= 1");
+    if (config_.faults && config_.faults->empty())
+        config_.faults = nullptr;
+    contenders_.reserve(topo_.numTiles());
+    if (config_.recordGrantWait)
+        grantWait_ = std::make_unique<std::vector<sim::LatencyHistogram>>(
+            topo_.numTiles());
+
+    if (config_.faults) {
+        const sim::FaultPlan &plan = *config_.faults;
+        if (std::vector<std::string> errors =
+                plan.validate(topo_.linkIndexSpace());
+            !errors.empty())
+            fatal("invalid fault plan for fabric '", name, "': ",
+                  errors.front());
+        faults_ = std::make_unique<sim::FaultInjector>(
+            plan, sim::FaultInjector::Stream::Fabric);
+        linkFaultyUntil_.assign(topo_.linkIndexSpace(), 0);
+        linkDeadPermanent_.assign(topo_.linkIndexSpace(), 0);
+        meshLinkFree_.assign(topo_.linkIndexSpace(), 0);
+        // Fault activations run at default priority, i.e. before the
+        // cycle's arbitration round, so an outage starting at cycle T
+        // already blocks setups in T.
+        for (const sim::LinkFaultSpec &f : plan.linkFaults)
+            queue_.scheduleLambda(f.start,
+                                  [this, f] { activateFault(f); });
+    }
+}
+
+Interconnect::~Interconnect()
+{
+    if (arbitrationEvent_.scheduled())
+        queue_.deschedule(&arbitrationEvent_);
+}
+
+void
+Interconnect::scheduleArbitration(Cycle when)
+{
+    if (arbitrationEvent_.scheduled()) {
+        if (arbitrationScheduledFor_ <= when)
+            return;
+        queue_.deschedule(&arbitrationEvent_);
+    }
+    queue_.schedule(&arbitrationEvent_, when);
+    arbitrationScheduledFor_ = when;
+}
+
+void
+Interconnect::send(CoreId src, CoreId dst, Cycle now, DeliverFn deliver)
+{
+    if (src == dst) {
+        deliver(now);
+        return;
+    }
+    Cycle active = std::max(now, queue_.curCycle());
+    TRACE(Fabric, "post one-way ", src, " -> ", dst, " active at ",
+          active);
+    pending_[src].push_back(Request{src, dst, active, active, 0,
+                                    false, 0, nextSeq_++,
+                                    std::move(deliver)});
+    pendingBits_[src >> 6] |= std::uint64_t{1} << (src & 63);
+    ++numPending_;
+    scheduleArbitration(active);
+}
+
+void
+Interconnect::sendRoundTrip(CoreId src, CoreId dst, Cycle now,
+                            Cycle occupancy, DeliverFn deliver)
+{
+    if (src == dst) {
+        deliver(now);
+        return;
+    }
+    Cycle active = std::max(now, queue_.curCycle());
+    TRACE(Fabric, "post round-trip ", src, " -> ", dst, " occupancy ",
+          occupancy, " active at ", active);
+    pending_[src].push_back(Request{src, dst, active, active,
+                                    occupancy, true, 0, nextSeq_++,
+                                    std::move(deliver)});
+    pendingBits_[src >> 6] |= std::uint64_t{1} << (src & 63);
+    ++numPending_;
+    scheduleArbitration(active);
+}
+
+void
+Interconnect::arbitrate()
+{
+    Cycle now = queue_.curCycle();
+    arbitrationScheduledFor_ = invalidCycle;
+
+    // Chip-wide consistent static priority, rotated every epoch so no
+    // requester starves (§III-B2).
+    unsigned tiles = topo_.numTiles();
+    unsigned rotation = static_cast<unsigned>(
+        (now / config_.priorityEpoch) % tiles);
+
+    // One eligible request per source: the oldest whose turn has come.
+    // Only sources with queued work have their bit set, so the round
+    // touches just those queues.
+    contenders_.clear();
+    for (std::size_t w = 0; w < pendingBits_.size(); ++w) {
+        std::uint64_t bits = pendingBits_[w];
+        while (bits) {
+            auto src = static_cast<CoreId>(
+                (w << 6) +
+                static_cast<unsigned>(std::countr_zero(bits)));
+            bits &= bits - 1;
+            if (pending_[src].front().activeAt <= now)
+                contenders_.push_back(src);
+        }
+    }
+    // Rotated static priority: sources >= rotation first, each group
+    // ascending. contenders_ is gathered in ascending order, so a
+    // rotate produces exactly the order the per-source keyed sort
+    // (a + tiles - rotation) % tiles would.
+    std::rotate(contenders_.begin(),
+                std::lower_bound(contenders_.begin(), contenders_.end(),
+                                 static_cast<CoreId>(rotation)),
+                contenders_.end());
+
+    for (CoreId src : contenders_) {
+        Request &req = pending_[src].front();
+        if (faults_ && pairUnreachable(req)) {
+            // Route-around found no surviving circuit path; don't burn
+            // arbitration cycles on a setup that can never succeed.
+            degrade(src, now);
+            continue;
+        }
+        ++setupAttempts;
+        if (!tryAcquire(req, now)) {
+            ++setupFailures;
+            ++req.retries;
+            if (faults_) {
+                const sim::FaultPlan &plan = faults_->plan();
+                if (plan.watchdogCycles != 0 &&
+                    now - req.posted >= plan.watchdogCycles) {
+                    if (plan.watchdogFatal)
+                        fatal("fabric watchdog: message ", req.src,
+                              " -> ", req.dst, " unserved for ",
+                              now - req.posted, " cycles");
+                    ++watchdogTrips;
+                    degrade(src, now);
+                    continue;
+                }
+                if (req.retries > plan.retryBudget) {
+                    degrade(src, now);
+                    continue;
+                }
+                // Capped exponential backoff: 1, 2, 4, ... cycles.
+                Cycle delay = std::min<Cycle>(
+                    plan.backoffCap,
+                    Cycle{1} << std::min(req.retries - 1, 30u));
+                req.activeAt = now + delay;
+                backoffCycles += static_cast<double>(delay - 1);
+            } else {
+                req.activeAt = now + 1;
+            }
+            TRACE(Fabric, "setup denied ", req.src, " -> ", req.dst,
+                  " retry ", req.retries);
+            if (sim::recording())
+                sim::recorder().instant(sim::Lane::Message, req.src,
+                                        "setup denied", now, req.dst,
+                                        req.retries, "dst", "retries");
+            continue;
+        }
+
+        Cycle traversal = this->traversal(req.src, req.dst);
+        Cycle arrival = now + traversal;
+
+        TRACE(Fabric, "setup granted ", req.src, " -> ", req.dst,
+              " after ", req.retries, " retries, arrival ", arrival);
+        if (sim::recording())
+            sim::recorder().span(sim::Lane::Message, req.src,
+                                 req.roundTrip ? "round-trip message"
+                                               : "message",
+                                 req.posted, arrival, req.dst,
+                                 req.retries, "dst", "retries");
+        ++messagesSent;
+        if (now == req.posted)
+            ++zeroRetryMessages;
+        retryDistribution.sample(static_cast<double>(req.retries));
+        // Latency counts waiting (port queueing + retries) + the
+        // setup cycle + traversal.
+        totalNetworkLatency += static_cast<double>(
+            (now - req.posted) + 1 + traversal);
+        if (grantWait_)
+            (*grantWait_)[req.src].record(now - req.posted);
+
+        DeliverFn deliver = std::move(req.deliver);
+        queue_.scheduleLambda(arrival,
+                              [deliver = std::move(deliver), arrival] {
+                                  deliver(arrival);
+                              });
+
+        pending_[src].pop_front();
+        --numPending_;
+        // The setup port frees next cycle for the next queued request.
+        if (!pending_[src].empty())
+            pending_[src].front().activeAt = std::max(
+                pending_[src].front().activeAt, now + 1);
+        else
+            pendingBits_[src >> 6] &=
+                ~(std::uint64_t{1} << (src & 63));
+    }
+
+    if (numPending_ > 0) {
+        Cycle next = invalidCycle;
+        for (std::size_t w = 0; w < pendingBits_.size(); ++w) {
+            std::uint64_t bits = pendingBits_[w];
+            while (bits) {
+                auto src = static_cast<CoreId>(
+                    (w << 6) +
+                    static_cast<unsigned>(std::countr_zero(bits)));
+                bits &= bits - 1;
+                next = std::min(next,
+                                pending_[src].front().activeAt);
+            }
+        }
+        scheduleArbitration(std::max(next, now + 1));
+    }
+}
+
+void
+Interconnect::activateFault(const sim::LinkFaultSpec &fault)
+{
+    ++faultsInjected;
+    linkFaultyUntil_[fault.link] =
+        std::max(linkFaultyUntil_[fault.link], fault.end());
+    TRACE(Fabric, "link ", fault.link, " fault window opens at ",
+          queue_.curCycle(),
+          fault.permanent() ? " (permanent)" : "");
+    if (fault.permanent() && !linkDeadPermanent_[fault.link]) {
+        linkDeadPermanent_[fault.link] = 1;
+        onPermanentLinkDeath(fault.link);
+    }
+}
+
+void
+Interconnect::degrade(CoreId src, Cycle now)
+{
+    Request &req = pending_[src].front();
+    // Deliver over the store-and-forward maintenance mesh instead
+    // (noc::QueuedMeshNetwork timing: router + wire cycle per hop, one
+    // flit per link-cycle). The maintenance mesh is a tile-level
+    // structure for every fabric kind, so this path is shared. For
+    // round-trip messages only the forward trip is recosted; the
+    // caller's pre-granted-return accounting stands in for the
+    // response, which is an understatement we accept for a degraded
+    // corner.
+    Cycle t = now;
+    for (const noc::LinkId &link : topo_.xyPath(req.src, req.dst)) {
+        t += 1; // route compute / switch allocation
+        Cycle &free_at = meshLinkFree_[link.flatten()];
+        if (free_at > t)
+            t = free_at; // wait for the link
+        free_at = t + 1;
+        t += 1; // wire traversal
+    }
+    Cycle arrival = t;
+
+    ++degradedMessages;
+    ++messagesSent;
+    retryDistribution.sample(static_cast<double>(req.retries));
+    totalNetworkLatency +=
+        static_cast<double>((arrival - req.posted) + 1);
+    if (grantWait_)
+        (*grantWait_)[req.src].record(now - req.posted);
+    TRACE(Fabric, "degraded ", req.src, " -> ", req.dst, " after ",
+          req.retries, " retries, mesh arrival ", arrival);
+    if (sim::recording())
+        sim::recorder().span(sim::Lane::Message, req.src,
+                             "degraded message", req.posted, arrival,
+                             req.dst, req.retries, "dst", "retries");
+
+    DeliverFn deliver = std::move(req.deliver);
+    // Flag the delivery as degraded for its whole (synchronous)
+    // callback, so continuations can tag the translation result.
+    queue_.scheduleLambda(arrival,
+                          [this, deliver = std::move(deliver), arrival] {
+                              deliveringDegraded_ = true;
+                              deliver(arrival);
+                              deliveringDegraded_ = false;
+                          });
+
+    pending_[src].pop_front();
+    --numPending_;
+    // The setup port frees next cycle, as for a granted setup.
+    if (!pending_[src].empty())
+        pending_[src].front().activeAt = std::max(
+            pending_[src].front().activeAt, now + 1);
+    else
+        pendingBits_[src >> 6] &= ~(std::uint64_t{1} << (src & 63));
+}
+
+void
+Interconnect::syncFaultStats(Cycle now)
+{
+    if (!faults_ || now <= faultStatsThrough_)
+        return;
+    for (const sim::LinkFaultSpec &f : faults_->plan().linkFaults) {
+        Cycle from = std::max(f.start, faultStatsThrough_);
+        Cycle to = std::min(f.end(), now);
+        if (to > from)
+            linkDeadCycles[f.link] += static_cast<double>(to - from);
+    }
+    faultStatsThrough_ = now;
+}
+
+} // namespace nocstar::core

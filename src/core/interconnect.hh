@@ -1,0 +1,364 @@
+/**
+ * @file
+ * The Interconnect seam: the abstract interface every TLB-carrying
+ * fabric implements, plus the shared circuit-switched arbitration
+ * engine both concrete fabrics (flat NOCSTAR, hierarchical hybrid)
+ * are built on.
+ *
+ * What the interface guarantees to organizations and the system:
+ *  - path-setup request/grant semantics: a send() posted in cycle T
+ *    arbitrates from T, one outstanding setup per source tile per
+ *    cycle (single set of request wires), all-or-nothing resource
+ *    acquisition, 1-cycle retry;
+ *  - deterministic grant order: contenders are served in rotated
+ *    static priority (rotation advances every priorityEpoch cycles,
+ *    chip-wide consistent), ties broken by source id then FIFO age --
+ *    so a run's outcome depends only on its config and seed, never on
+ *    host parallelism;
+ *  - message delivery with continuation: the DeliverFn fires exactly
+ *    once, at the destination latch cycle, on the simulated queue;
+ *  - per-link stats/heatmap export: the link_grants / link_denies /
+ *    link_hold_cycles vectors are indexed by flattened LinkId over the
+ *    *tile* mesh for every implementation, so heatmap tooling is
+ *    fabric-agnostic;
+ *  - fault-injection hooks: link outages (transient or permanent,
+ *    with deterministic route-around), grant loss, capped backoff,
+ *    watchdog, and the store-and-forward mesh fallback all live in the
+ *    shared engine; implementations only supply the path/resource
+ *    model;
+ *  - trace lanes: granted paths emit Lane::Link hold spans and
+ *    Lane::Message spans keyed the same way for every implementation.
+ *
+ * Construction goes through makeInterconnect() (defined in
+ * org_factory.cc, the single construction point for (organization,
+ * fabric) pairs). Nothing outside src/core/ includes the concrete
+ * fabric headers.
+ */
+
+#ifndef NOCSTAR_CORE_INTERCONNECT_HH
+#define NOCSTAR_CORE_INTERCONNECT_HH
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "noc/topology.hh"
+#include "sim/event_queue.hh"
+#include "sim/latency_histogram.hh"
+#include "sim/stats.hh"
+
+namespace nocstar::core
+{
+
+/** Fabric tuning knobs. */
+struct FabricConfig
+{
+    FabricKind kind = FabricKind::Flat;
+    unsigned hpcMax = 16;
+    Cycle priorityEpoch = 1000;
+    /** Contention-free mode: every setup succeeds (NOCSTAR-ideal). */
+    bool ideal = false;
+    /**
+     * Fault-injection plan (not owned; must outlive the fabric).
+     * Null or empty means no fault machinery is instantiated and
+     * every hot path behaves exactly as a fault-free build.
+     */
+    const sim::FaultPlan *faults = nullptr;
+    /**
+     * Hierarchical cluster geometry in tiles (0 = auto: near-square
+     * clusters of up to 4x4 tiles). Must divide the mesh dimensions;
+     * OrgConfig::validate() reports violations with hints.
+     */
+    unsigned clusterWidth = 0;
+    unsigned clusterHeight = 0;
+    /**
+     * Keep one grant-wait histogram per source tile (cycles from
+     * send() to path grant), for the priority-rotation fairness
+     * figure. Host-side only -- simulated timing and the stats tree
+     * are byte-identical with it off (the default).
+     */
+    bool recordGrantWait = false;
+};
+
+/**
+ * Abstract interconnect: the only fabric type organizations, the
+ * system and the bench wiring see. Also hosts the shared arbitration
+ * engine (request queues, priority rotation, retry/backoff/watchdog,
+ * mesh fallback) -- concrete fabrics supply the resource model via the
+ * protected virtuals.
+ */
+class Interconnect : public stats::StatGroup
+{
+  public:
+    /**
+     * Invoked when the message is latched at the destination tile.
+     * Inline capacity fits the largest organization continuation
+     * (NOCSTAR remote lookup carrying the entry and the requester's
+     * completion callback).
+     */
+    using DeliverFn = InlineFunction<void(Cycle arrival), 192>;
+
+    Interconnect(const std::string &name, EventQueue &queue,
+                 const noc::GridTopology &topo,
+                 const FabricConfig &config,
+                 stats::StatGroup *parent = nullptr);
+
+    ~Interconnect() override;
+
+    /**
+     * One-way message: arbitration begins at max(now, curCycle); on
+     * success the message arrives traversal(src, dst) cycles after its
+     * setup cycle. Local (src == dst) messages deliver immediately.
+     *
+     * Each source tile has a single path-setup port (one set of
+     * request wires to the arbiters), so its outstanding messages
+     * arbitrate oldest-first, one per cycle.
+     */
+    void send(CoreId src, CoreId dst, Cycle now, DeliverFn deliver);
+
+    /**
+     * Round-trip acquisition (Fig 16 left): the forward *and* reverse
+     * paths are held from the setup cycle until the response has
+     * returned, @p occupancy cycles after the request arrives at the
+     * destination. @p deliver fires at the destination arrival; the
+     * caller schedules the response completion itself (the return path
+     * is pre-granted, adding one traversal).
+     */
+    void sendRoundTrip(CoreId src, CoreId dst, Cycle now, Cycle occupancy,
+                       DeliverFn deliver);
+
+    const noc::GridTopology &topology() const { return topo_; }
+
+    /** Hop count of the current path src -> dst (reporting only). */
+    virtual unsigned pathHops(CoreId src, CoreId dst) const = 0;
+
+    /** Cycles a granted src -> dst path takes to traverse. */
+    virtual Cycle traversal(CoreId src, CoreId dst) const = 0;
+
+    /**
+     * Append the flattened tile-mesh link ids a src -> dst message
+     * occupies (debug / differential tests; intra-cluster crossbar
+     * hops of the hierarchical fabric contribute no mesh links).
+     */
+    virtual void pathLinksInto(CoreId src, CoreId dst,
+                               std::vector<std::uint32_t> &out) const = 0;
+
+    /** Traversal cycles of a pipelined mesh segment of @p hops hops. */
+    Cycle
+    traversalCycles(unsigned hops) const
+    {
+        if (hops == 0)
+            return 0;
+        return (hops + config_.hpcMax - 1) / config_.hpcMax;
+    }
+
+    // Statistics exercised by the figures. Identical names, types and
+    // registration order for every implementation, so stats documents
+    // are fabric-agnostic.
+    stats::Scalar messagesSent;
+    stats::Scalar setupAttempts;
+    stats::Scalar setupFailures;
+    /** Messages that experienced no contention delay at all (granted
+     * in the cycle they were posted, no port queueing, no retry). */
+    stats::Scalar zeroRetryMessages;
+    stats::Scalar totalNetworkLatency; ///< send-call -> delivery cycles
+    stats::Distribution retryDistribution;
+    // Per-link load-imbalance telemetry, indexed by flattened link id
+    // (GridTopology::LinkId::flatten()): how often each link was
+    // acquired, how often it was the first blocker of a failed setup,
+    // and for how many cycles in total it was held. linkHoldCycles
+    // against the run length is the per-link occupancy heatmap.
+    stats::Vector linkGrants;
+    stats::Vector linkDenies;
+    stats::Vector linkHoldCycles;
+    // Fault-injection / resilience telemetry. All stay zero (and cost
+    // nothing on the hot path) unless a fault plan is configured.
+    stats::Scalar faultsInjected; ///< outages begun + grants lost
+    /** Messages that gave up on circuit setup and fell back to the
+     * store-and-forward maintenance mesh. */
+    stats::Scalar degradedMessages;
+    stats::Scalar backoffCycles; ///< extra wait beyond the 1-cycle retry
+    stats::Scalar watchdogTrips; ///< messages rescued by the watchdog
+    /** Cycles each link spent inside a fault window, indexed like
+     * linkGrants (brought current by syncFaultStats()). */
+    stats::Vector linkDeadCycles;
+
+    /**
+     * Bring linkDeadCycles current through @p now. Called before epoch
+     * snapshots and at end of run; no-op without a fault plan.
+     */
+    void syncFaultStats(Cycle now);
+
+    /**
+     * True only while a delivery callback of a degraded (mesh-
+     * fallback) message is running. The organization continuations
+     * read it inside their DeliverFn bodies to tag the translation
+     * they are completing; the single-threaded event queue guarantees
+     * deliveries never nest across messages.
+     */
+    bool deliveredDegraded() const { return deliveringDegraded_; }
+
+    /** Circuit resources held at cycle @p now (counter-track sampling). */
+    virtual unsigned
+    linksHeld(Cycle now) const
+    {
+        unsigned held = 0;
+        for (Cycle until : linkHeldUntil_)
+            held += until > now ? 1 : 0;
+        return held;
+    }
+
+    /** Average cycles from send() to delivery, network portion only. */
+    double
+    averageLatency() const
+    {
+        double n = messagesSent.value();
+        return n > 0 ? totalNetworkLatency.value() / n : 0.0;
+    }
+
+    /** Fraction of messages that acquired their path with no retry. */
+    double
+    noContentionFraction() const
+    {
+        double n = messagesSent.value();
+        return n > 0 ? zeroRetryMessages.value() / n : 0.0;
+    }
+
+    /** Failed setup attempts over all attempts (scaling figure). */
+    double
+    setupRetryRate() const
+    {
+        double n = setupAttempts.value();
+        return n > 0 ? setupFailures.value() / n : 0.0;
+    }
+
+    /** Non-null when FabricConfig::recordGrantWait was set: one
+     * histogram of send()-to-grant waits per source tile. */
+    const sim::LatencyHistogram *
+    grantWaitOf(CoreId src) const
+    {
+        return grantWait_ ? &(*grantWait_)[src] : nullptr;
+    }
+
+  protected:
+    struct Request
+    {
+        CoreId src;
+        CoreId dst;
+        Cycle posted; ///< cycle of the original send() call
+        Cycle activeAt; ///< earliest cycle this request may arbitrate
+        Cycle holdExtra; ///< extra link-hold cycles (round-trip mode)
+        bool roundTrip;
+        unsigned retries;
+        std::uint64_t seq; ///< FIFO tiebreak among same-source requests
+        DeliverFn deliver;
+    };
+
+    /**
+     * Try to reserve every resource of @p req's path(s): deny-counting,
+     * fault checks and the hold-until bookkeeping live here. Must be
+     * all-or-nothing.
+     */
+    virtual bool tryAcquire(const Request &req, Cycle now) = 0;
+
+    /** Route-around left no circuit path for this pair: skip setup and
+     * serve it from the fallback mesh. Only consulted with faults. */
+    virtual bool pairUnreachable(const Request &req) const = 0;
+
+    /** A link just died permanently (already marked in
+     * linkDeadPermanent_): recompute paths around it. */
+    virtual void onPermanentLinkDeath(std::uint32_t link) = 0;
+
+    /** Run one arbitration round for the current cycle. */
+    void arbitrate();
+
+    /** A link fault window just opened: mark it, reroute if permanent. */
+    void activateFault(const sim::LinkFaultSpec &fault);
+
+    /** Pop @p src's head request and deliver it over the fallback
+     * store-and-forward mesh instead of the circuit fabric. */
+    void degrade(CoreId src, Cycle now);
+
+    void scheduleArbitration(Cycle when);
+
+    std::size_t
+    pairIndex(CoreId src, CoreId dst) const
+    {
+        return static_cast<std::size_t>(src) * topo_.numTiles() + dst;
+    }
+
+    EventQueue &queue_;
+    noc::GridTopology topo_;
+    FabricConfig config_;
+
+    /** Cycle through which each directed link is held (exclusive). */
+    std::vector<Cycle> linkHeldUntil_;
+    /** Scratch list of arbitrating sources, reused across rounds. */
+    std::vector<CoreId> contenders_;
+    /** Per-source FIFO of waiting requests (one setup port each). */
+    std::vector<std::deque<Request>> pending_;
+    /**
+     * One bit per source tile, set while its FIFO is non-empty, so
+     * arbitration rounds visit only tiles with work instead of
+     * scanning every queue.
+     */
+    std::vector<std::uint64_t> pendingBits_;
+    std::size_t numPending_ = 0;
+    Cycle arbitrationScheduledFor_ = invalidCycle;
+    std::uint64_t nextSeq_ = 0;
+    LambdaEvent arbitrationEvent_;
+
+    // Fault machinery; allocated only when config_.faults is a
+    // non-empty plan, so the guards below reduce to one null check.
+    /** Seeded draw source for grant loss (Stream::Fabric). */
+    std::unique_ptr<sim::FaultInjector> faults_;
+    /** Cycle through which each link is fault-disabled (exclusive);
+     * invalidCycle for permanently dead links. */
+    std::vector<Cycle> linkFaultyUntil_;
+    std::vector<std::uint8_t> linkDeadPermanent_;
+    /** Per-link next-free cycle of the fallback mesh (QueuedMesh
+     * model: router + wire cycle per hop, one flit per link-cycle). */
+    std::vector<Cycle> meshLinkFree_;
+    /** linkDeadCycles is accounted through this cycle. */
+    Cycle faultStatsThrough_ = 0;
+    /** See deliveredDegraded(). */
+    bool deliveringDegraded_ = false;
+
+    /** Per-source grant-wait histograms (null unless recording). */
+    std::unique_ptr<std::vector<sim::LatencyHistogram>> grantWait_;
+};
+
+/**
+ * Resolve the hierarchical cluster geometry of @p config against
+ * @p topo: auto (0) picks near-square clusters of up to 4x4 tiles.
+ * fatal()s on geometry OrgConfig::validate() would have rejected.
+ */
+void resolveClusterGeometry(const FabricConfig &config,
+                            const noc::GridTopology &topo,
+                            unsigned &clusterWidth,
+                            unsigned &clusterHeight);
+
+/**
+ * Single construction point for fabrics (org_factory.cc): builds the
+ * implementation FabricConfig::kind selects.
+ */
+std::unique_ptr<Interconnect>
+makeInterconnect(const std::string &name, EventQueue &queue,
+                 const noc::GridTopology &topo, const FabricConfig &config,
+                 stats::StatGroup *parent = nullptr);
+
+/**
+ * Convenience overload deriving the FabricConfig from an organization
+ * config. @p config must outlive the fabric (the fault plan is
+ * referenced, not copied).
+ */
+std::unique_ptr<Interconnect>
+makeInterconnect(const std::string &name, EventQueue &queue,
+                 const noc::GridTopology &topo, const OrgConfig &config,
+                 stats::StatGroup *parent = nullptr);
+
+} // namespace nocstar::core
+
+#endif // NOCSTAR_CORE_INTERCONNECT_HH

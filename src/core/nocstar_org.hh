@@ -13,7 +13,7 @@
 #include <memory>
 #include <vector>
 
-#include "core/fabric.hh"
+#include "core/interconnect.hh"
 #include "core/organization.hh"
 
 namespace nocstar::core
@@ -48,12 +48,18 @@ class NocstarOrg : public TlbOrganization
         fabric_->syncFaultStats(now);
     }
 
-    /** Home slice: 4 KB-granule interleaving (same as distributed). */
+    /**
+     * Home slice: 4 KB-granule interleaving (same as distributed),
+     * optionally remapped cluster-locally (SliceMapping::ClusterLocal)
+     * so consecutive interleave indices fill one crossbar cluster
+     * before striping to the next.
+     */
     CoreId
     sliceOf(Addr vaddr) const
     {
-        return static_cast<CoreId>(
+        auto idx = static_cast<CoreId>(
             (vaddr >> pageShift(PageSize::FourKB)) % config_.numCores);
+        return homeOf_.empty() ? idx : homeOf_[idx];
     }
 
     tlb::SetAssocTlb &sliceArray(CoreId slice)
@@ -80,7 +86,7 @@ class NocstarOrg : public TlbOrganization
         return hit ? ProbeResult{true, *hit} : ProbeResult{};
     }
 
-    NocstarFabric &fabric() { return *fabric_; }
+    Interconnect &fabric() { return *fabric_; }
 
     Cycle sliceLatency() const { return sliceLatency_; }
 
@@ -117,9 +123,11 @@ class NocstarOrg : public TlbOrganization
                         bool ecc, bool degraded, TranslationDone done);
 
     noc::GridTopology topo_;
-    std::unique_ptr<NocstarFabric> fabric_;
+    std::unique_ptr<Interconnect> fabric_;
     std::vector<std::unique_ptr<tlb::SetAssocTlb>> slices_;
     std::vector<Cycle> leaderNextFree_;
+    /** Interleave index -> home tile (empty for the identity map). */
+    std::vector<CoreId> homeOf_;
     Cycle sliceLatency_;
 };
 

@@ -1286,9 +1286,27 @@ System::run(std::uint64_t accesses_per_thread)
     result.energyPj = energy_.totalPj();
 
     if (auto *nocstar = dynamic_cast<core::NocstarOrg *>(org_.get())) {
-        core::NocstarFabric &fabric = nocstar->fabric();
+        core::Interconnect &fabric = nocstar->fabric();
         result.fabricAvgLatency = fabric.averageLatency();
         result.fabricNoContention = fabric.noContentionFraction();
+        result.fabricSetupAttempts =
+            static_cast<std::uint64_t>(fabric.setupAttempts.value());
+        result.fabricSetupFailures =
+            static_cast<std::uint64_t>(fabric.setupFailures.value());
+        result.fabricRetryRate = fabric.setupRetryRate();
+        if (config_.org.recordGrantWait) {
+            double worst = 0, sum = 0;
+            unsigned tiles = config_.org.numCores;
+            for (CoreId t = 0; t < tiles; ++t) {
+                const sim::LatencyHistogram *h = fabric.grantWaitOf(t);
+                double p99 = h ? h->percentile(0.99) : 0.0;
+                worst = std::max(worst, p99);
+                sum += p99;
+            }
+            result.fabricGrantWaitP99Max = worst;
+            result.fabricGrantWaitP99Mean =
+                tiles > 0 ? sum / tiles : 0.0;
+        }
         result.faultsInjected =
             static_cast<std::uint64_t>(fabric.faultsInjected.value());
         result.degradedMessages =

@@ -40,7 +40,7 @@
 
 namespace nocstar::core
 {
-class NocstarFabric;
+class Interconnect;
 }
 
 namespace nocstar::cpu
@@ -225,6 +225,18 @@ struct RunResult
 
     double fabricAvgLatency = 0; ///< NOCSTAR only
     double fabricNoContention = 0; ///< NOCSTAR only
+    // Scaling-figure telemetry (NOCSTAR only; zero elsewhere).
+    std::uint64_t fabricSetupAttempts = 0;
+    std::uint64_t fabricSetupFailures = 0;
+    /** setupFailures / setupAttempts. */
+    double fabricRetryRate = 0;
+    /**
+     * Priority-rotation fairness: worst and mean per-source-tile p99
+     * grant wait in cycles. Populated only when
+     * OrgConfig::recordGrantWait was set.
+     */
+    double fabricGrantWaitP99Max = 0;
+    double fabricGrantWaitP99Mean = 0;
 
     std::uint64_t shootdowns = 0;
     double avgShootdownLatency = 0;
@@ -606,7 +618,7 @@ class System : public stats::StatGroup
     /** Next cycle at or after which counter tracks may sample again. */
     Cycle nextCounterAt_ = 0;
     /** Fabric of a NOCSTAR org, for the links-held counter track. */
-    core::NocstarFabric *counterFabric_ = nullptr;
+    core::Interconnect *counterFabric_ = nullptr;
     /** Crew park/wake events, appended by worker threads under the
      * mutex and drained into the recorder by the caller thread. */
     std::vector<ParkEvent> parkEvents_;

@@ -30,7 +30,14 @@ enum class Direction : std::uint8_t
     South = 3,
 };
 
-/** A directed inter-tile link: the @p dir output of tile @p node. */
+/**
+ * A directed inter-tile link: the @p dir output of tile @p node.
+ *
+ * Flattened ids are 32-bit throughout (link tables, path tables,
+ * stats vectors). GridTopology's constructor bounds the tile count so
+ * node * 4 + dir can never overflow: the link id space stays a dense
+ * 32-bit range even at the 1024-tile design points and far beyond.
+ */
 struct LinkId
 {
     CoreId node;
@@ -62,11 +69,20 @@ struct Coord
 class GridTopology
 {
   public:
+    /**
+     * Bounds the tile count so every flattened link id (tile * 4 + dir)
+     * and dense per-link table index fits comfortably in 32 bits.
+     */
+    static constexpr unsigned maxTiles = 1u << 26;
+
     GridTopology(unsigned width, unsigned height)
         : width_(width), height_(height)
     {
         if (width == 0 || height == 0)
             fatal("degenerate grid ", width, "x", height);
+        if (static_cast<std::uint64_t>(width) * height > maxTiles)
+            fatal("grid ", width, "x", height, " exceeds the ",
+                  maxTiles, "-tile bound of the 32-bit link id space");
     }
 
     /** Near-square grid for @p cores tiles (power-of-two friendly). */
@@ -149,8 +165,34 @@ class GridTopology
         return path;
     }
 
+    /**
+     * Append the flattened link ids of the XY path src -> dst to
+     * @p out. Identical link sequence to xyPath(), but allocation-free
+     * for callers that keep a reusable buffer (path tables, on-demand
+     * path generation at large tile counts).
+     */
+    void
+    xyLinksInto(CoreId src, CoreId dst,
+                std::vector<std::uint32_t> &out) const
+    {
+        Coord cur = coordOf(src);
+        Coord end = coordOf(dst);
+        while (cur.x != end.x) {
+            Direction dir =
+                cur.x < end.x ? Direction::East : Direction::West;
+            out.push_back(LinkId{tileAt(cur), dir}.flatten());
+            cur.x += cur.x < end.x ? 1 : -1u;
+        }
+        while (cur.y != end.y) {
+            Direction dir =
+                cur.y < end.y ? Direction::South : Direction::North;
+            out.push_back(LinkId{tileAt(cur), dir}.flatten());
+            cur.y += cur.y < end.y ? 1 : -1u;
+        }
+    }
+
     /** Dense id space for per-link state tables. */
-    unsigned linkIndexSpace() const { return numTiles() * 4; }
+    std::uint32_t linkIndexSpace() const { return numTiles() * 4; }
 
   private:
     unsigned width_;

@@ -9,9 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 #include <vector>
 
-#include "core/fabric.hh"
+#include "core/interconnect.hh"
 #include "sim/random.hh"
 
 using namespace nocstar;
@@ -25,11 +26,13 @@ struct FabricHarness
     EventQueue queue;
     stats::StatGroup root{"root"};
     noc::GridTopology topo;
-    NocstarFabric fabric;
+    std::unique_ptr<Interconnect> fabricPtr;
+    Interconnect &fabric;
 
     explicit FabricHarness(unsigned cores = 16, FabricConfig cfg = {})
         : topo(noc::GridTopology::forCores(cores)),
-          fabric("fabric", queue, topo, cfg, &root)
+          fabricPtr(makeInterconnect("fabric", queue, topo, cfg, &root)),
+          fabric(*fabricPtr)
     {}
 };
 
@@ -232,7 +235,8 @@ TEST(Fabric, PrecomputedPathTableMatchesTopology)
         for (CoreId src = 0; src < topo.numTiles(); ++src) {
             for (CoreId dst = 0; dst < topo.numTiles(); ++dst) {
                 auto expected = topo.xyPath(src, dst);
-                auto table = h.fabric.pathLinks(src, dst);
+                std::vector<std::uint32_t> table;
+                h.fabric.pathLinksInto(src, dst, table);
                 ASSERT_EQ(table.size(), expected.size())
                     << cores << " cores, " << src << " -> " << dst;
                 for (std::size_t i = 0; i < expected.size(); ++i)
@@ -253,7 +257,7 @@ TEST(Fabric, ZeroHpcMaxIsFatal)
     noc::GridTopology topo(4, 4);
     FabricConfig cfg;
     cfg.hpcMax = 0;
-    EXPECT_THROW(NocstarFabric("f", queue, topo, cfg, &root),
+    EXPECT_THROW(makeInterconnect("f", queue, topo, cfg, &root),
                  FatalError);
 }
 

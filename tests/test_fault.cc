@@ -8,10 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <sstream>
 #include <string>
 
-#include "core/fabric.hh"
+#include "core/interconnect.hh"
 #include "cpu/system.hh"
 #include "sim/fault.hh"
 
@@ -26,11 +27,13 @@ struct FabricHarness
     EventQueue queue;
     stats::StatGroup root{"root"};
     noc::GridTopology topo;
-    NocstarFabric fabric;
+    std::unique_ptr<Interconnect> fabricPtr;
+    Interconnect &fabric;
 
     explicit FabricHarness(unsigned cores = 16, FabricConfig cfg = {})
         : topo(noc::GridTopology::forCores(cores)),
-          fabric("fabric", queue, topo, cfg, &root)
+          fabricPtr(makeInterconnect("fabric", queue, topo, cfg, &root)),
+          fabric(*fabricPtr)
     {}
 };
 
