@@ -218,6 +218,61 @@ fabricSelection()
 }
 
 /**
+ * Sampled-simulation / checkpoint selection, filled in by the
+ * --sample, --checkpoint and --restore options. When set, every
+ * configuration a bench runs uses SMARTS-style sampling (functional
+ * fast-forward between detailed measurement windows) and/or anchors
+ * at a checkpoint of the warmed functional state.
+ */
+struct SamplingSelection
+{
+    cpu::SamplingConfig sampling;
+    bool samplingSet = false;
+    std::string checkpointSave;
+    std::string checkpointRestore;
+};
+
+/** The process-wide sampling selection (set once at startup). */
+inline SamplingSelection &
+samplingSelection()
+{
+    static SamplingSelection sel;
+    return sel;
+}
+
+/**
+ * Parse a --sample spec `WINDOWS,DETAIL[,FF[,WARMUP]]` into @p out.
+ * FF defaults to 0 (derive the gap from the run length); WARMUP
+ * defaults to FF (one gap's worth of warming before window 1).
+ */
+inline bool
+parseSampleSpec(const std::string &spec, cpu::SamplingConfig &out)
+{
+    std::vector<std::uint64_t> parts;
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        std::size_t comma = spec.find(',', start);
+        std::string field = spec.substr(
+            start, comma == std::string::npos ? std::string::npos
+                                              : comma - start);
+        std::uint64_t v = 0;
+        if (!parseUnsigned(field, v))
+            return false;
+        parts.push_back(v);
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    if (parts.size() < 2 || parts.size() > 4)
+        return false;
+    out.windows = static_cast<unsigned>(parts[0]);
+    out.detailAccesses = parts[1];
+    out.ffAccesses = parts.size() > 2 ? parts[2] : 0;
+    out.warmupAccesses = parts.size() > 3 ? parts[3] : out.ffAccesses;
+    return true;
+}
+
+/**
  * Clamp @p jobs so that jobs x shards worker threads never exceed the
  * host's hardware threads (sweep workers and shard crews multiply, and
  * the shard crew spins between windows, so oversubscription destroys
@@ -277,6 +332,13 @@ applySelections(const cpu::SystemConfig &config)
         cfg.shards = shardSelection().autoSelect
             ? sim::autoShards(cfg.org.numCores, shardSelection().jobsHint)
             : shardSelection().shards;
+    const SamplingSelection &sample = samplingSelection();
+    if (sample.samplingSet)
+        cfg.sampling = sample.sampling;
+    if (!sample.checkpointSave.empty())
+        cfg.checkpointSavePath = sample.checkpointSave;
+    if (!sample.checkpointRestore.empty())
+        cfg.checkpointRestorePath = sample.checkpointRestore;
     return cfg;
 }
 
@@ -466,6 +528,44 @@ addStandardBenchOptions(ArgParser &parser, BenchArgs &args)
         "NOCSTAR interconnect: flat (default), hier, or hier:WxH "
         "(cluster geometry; hier alone picks it per mesh)",
         "KIND");
+    parser.option(
+        "sample",
+        [](const std::string &spec) {
+            SamplingSelection &sel = samplingSelection();
+            if (!parseSampleSpec(spec, sel.sampling)) {
+                std::fprintf(
+                    stderr,
+                    "--sample expects WINDOWS,DETAIL[,FF[,WARMUP]] "
+                    "(got '%s')\n",
+                    spec.c_str());
+                return false;
+            }
+            sel.samplingSet = true;
+            return true;
+        },
+        "SMARTS-style sampled simulation: WINDOWS detail windows of "
+        "DETAIL accesses/thread, fast-forwarding ~FF accesses/thread "
+        "between them (0 = derive from run length) after WARMUP "
+        "functional warming",
+        "SPEC");
+    parser.option(
+        "checkpoint",
+        [](const std::string &file) {
+            samplingSelection().checkpointSave = file;
+            return true;
+        },
+        "save a checkpoint of the warmed functional state to FILE, "
+        "then keep running",
+        "FILE");
+    parser.option(
+        "restore",
+        [](const std::string &file) {
+            samplingSelection().checkpointRestore = file;
+            return true;
+        },
+        "restore warmed state from FILE instead of re-warming "
+        "(config fingerprint must match)",
+        "FILE");
     parser.option(
         "fault-seed",
         [](const std::string &value) {

@@ -133,6 +133,26 @@ main(int argc, char **argv)
         rssByTiles.push_back({tiles, peakRssKb()});
     }
 
+    // Per-component byte accounting at the largest tile count, for
+    // both fabrics: where the 1024-tile footprint actually lives
+    // (SoA TLB arrays, page-table pool, walk caches, path tables).
+    struct AuditRow
+    {
+        const char *fabric;
+        cpu::System::MemoryAudit audit;
+    };
+    std::vector<AuditRow> audits;
+    {
+        unsigned tiles = tileCounts.back();
+        for (auto [label, kind] :
+             {std::pair{"flat", core::FabricKind::Flat},
+              std::pair{"hier", core::FabricKind::Hierarchical}}) {
+            cpu::System system(bench::applySelections(nocstarConfig(
+                tiles, kind, core::SliceMapping::RowMajor)));
+            audits.push_back({label, system.memoryAudit()});
+        }
+    }
+
     std::printf("Fabric scaling: NOCSTAR flat vs hierarchical "
                 "(speedup vs private)\n");
     std::printf("%8s %-12s %10s %12s %14s %14s\n", "tiles", "fabric",
@@ -144,6 +164,17 @@ main(int argc, char **argv)
                     r.p99Mean);
     for (auto [tiles, kb] : rssByTiles)
         std::printf("peak RSS through %4u tiles: %ld KB\n", tiles, kb);
+    for (const AuditRow &a : audits)
+        std::printf("%u-tile %s memory: org arrays %zu KB, L1 %zu KB, "
+                    "page table %zu KB, walk caches %zu KB, "
+                    "fabric %zu KB (total %zu KB)\n",
+                    tileCounts.back(), a.fabric,
+                    a.audit.orgArrayBytes / 1024,
+                    a.audit.l1Bytes / 1024,
+                    a.audit.pageTableBytes / 1024,
+                    a.audit.cacheModelBytes / 1024,
+                    a.audit.fabricBytes / 1024,
+                    a.audit.total() / 1024);
 
     // Machine-readable record; CI gates peak_rss_kb at the largest
     // tile count against the committed baseline.
@@ -164,6 +195,19 @@ main(int argc, char **argv)
         for (std::size_t i = 0; i < rssByTiles.size(); ++i)
             std::fprintf(f, "%s\"%u\": %ld", i ? ", " : "",
                          rssByTiles[i].first, rssByTiles[i].second);
+        std::fprintf(f, "}, \"memory_bytes\": {");
+        for (std::size_t i = 0; i < audits.size(); ++i) {
+            const cpu::System::MemoryAudit &a = audits[i].audit;
+            std::fprintf(f,
+                         "%s\"%s\": {\"tiles\": %u, "
+                         "\"org_arrays\": %zu, \"l1\": %zu, "
+                         "\"page_table\": %zu, \"cache_model\": %zu, "
+                         "\"fabric\": %zu, \"total\": %zu}",
+                         i ? ", " : "", audits[i].fabric,
+                         tileCounts.back(), a.orgArrayBytes, a.l1Bytes,
+                         a.pageTableBytes, a.cacheModelBytes,
+                         a.fabricBytes, a.total());
+        }
         std::fprintf(f, "}}\n");
         std::fclose(f);
         std::fprintf(stderr,

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "bench/arg_parser.hh"
+#include "bench/bench_common.hh"
 #include "cpu/system.hh"
 #include "sim/fault.hh"
 #include "sim/parallel.hh"
@@ -247,6 +248,32 @@ main(int argc, char **argv)
         "inject faults per this plan file (see docs)", "FILE");
     parser.option("fault-seed", &config.org.faults.seed,
                   "override the fault plan's random seed");
+    parser.option(
+        "sample",
+        [&config](const std::string &spec) {
+            if (!bench::parseSampleSpec(spec, config.sampling)) {
+                std::fprintf(
+                    stderr,
+                    "simulate: --sample expects "
+                    "WINDOWS,DETAIL[,FF[,WARMUP]] (got '%s')\n",
+                    spec.c_str());
+                return false;
+            }
+            return true;
+        },
+        "SMARTS-style sampled simulation: WINDOWS detail windows of "
+        "DETAIL accesses/thread, fast-forwarding ~FF accesses/thread "
+        "between them (0 = derive from --accesses) after WARMUP "
+        "functional warming",
+        "SPEC");
+    parser.option("checkpoint", &config.checkpointSavePath,
+                  "save a checkpoint of the warmed state to FILE, "
+                  "then keep running",
+                  "FILE");
+    parser.option("restore", &config.checkpointRestorePath,
+                  "restore warmed state from FILE instead of "
+                  "re-warming (config fingerprint must match)",
+                  "FILE");
     parser.flag("stats", &dump_stats, "dump the full statistics tree");
     parser.parseOrExit(argc, argv);
 
@@ -305,6 +332,18 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(result.cycles),
                 result.meanCycles);
     std::printf("chip IPC            : %.3f\n", result.ipc);
+    if (result.sampled) {
+        std::printf("sampled IPC         : %.3f +/- %.3f (95%% CI, "
+                    "%u windows)\n",
+                    result.sampledIpcMean, result.sampledIpcCi95,
+                    result.sampleWindows);
+        std::printf("sampled L2 latency  : %.1f +/- %.1f cycles\n",
+                    result.sampledLatencyMean,
+                    result.sampledLatencyCi95);
+        std::printf("fast-forwarded      : %llu accesses\n",
+                    static_cast<unsigned long long>(
+                        result.sampledFfAccesses));
+    }
     std::printf("L1 miss rate        : %.2f %%\n",
                 100.0 * static_cast<double>(result.l1Misses) /
                     static_cast<double>(result.l1Accesses));

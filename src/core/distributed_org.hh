@@ -90,6 +90,18 @@ class DistributedOrg : public TlbOrganization
         return hit ? ProbeResult{true, *hit} : ProbeResult{};
     }
 
+    tlb::SetAssocTlb &array(unsigned index) override
+    {
+        return *slices_.at(index);
+    }
+
+    CoreId
+    walkCoreFor(CoreId requester, Addr vaddr) const override
+    {
+        return config_.ptwPlacement == PtwPlacement::Remote
+            ? sliceOf(vaddr) : requester;
+    }
+
     Cycle sliceLatency() const { return sliceLatency_; }
 
   private:

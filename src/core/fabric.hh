@@ -124,6 +124,20 @@ class NocstarFabric final : public Interconnect
     /** Build pathLinks_/pathOffset_ from the topology (ctor only). */
     void buildPathTable();
 
+  public:
+    std::size_t
+    memoryBytes() const override
+    {
+        return Interconnect::memoryBytes() +
+               pathOffset_.capacity() * sizeof(std::uint32_t) +
+               pathLinks_.capacity() * sizeof(std::uint32_t) +
+               pairDegraded_.capacity() * sizeof(std::uint8_t) +
+               scratch_[0].capacity() * sizeof(std::uint32_t) +
+               scratch_[1].capacity() * sizeof(std::uint32_t);
+    }
+
+  private:
+
     /**
      * Recompute the path table around permanently dead links. Only
      * pairs whose current path crosses a dead link change (BFS over

@@ -71,6 +71,18 @@ class HierFabric final : public Interconnect
 
     unsigned numClusters() const { return clusterGrid_.numTiles(); }
 
+    std::size_t
+    memoryBytes() const override
+    {
+        return Interconnect::memoryBytes() +
+               clusterOfTile_.capacity() * sizeof(std::uint32_t) +
+               gateway_.capacity() * sizeof(CoreId) +
+               xbarHeldUntil_.capacity() * sizeof(Cycle) +
+               cPathOffset_.capacity() * sizeof(std::uint32_t) +
+               cPathLinks_.capacity() * sizeof(std::uint32_t) +
+               clusterPairDegraded_.capacity() * sizeof(std::uint8_t);
+    }
+
     // Hierarchy-specific telemetry, registered after the shared stats
     // so fabric-agnostic stats documents keep their layout.
     stats::Scalar clusterLocalMessages; ///< granted within one crossbar

@@ -242,6 +242,31 @@ class Interconnect : public stats::StatGroup
         return grantWait_ ? &(*grantWait_)[src] : nullptr;
     }
 
+    /**
+     * Resident bytes of the arbitration state (link holds, request
+     * FIFOs, occupancy bitmaps, fault vectors), for the scaling
+     * bench's per-component memory audit. Subclasses add their path
+     * tables. Queued requests are counted at their live size -- the
+     * audit reads at quiescent points, where the FIFOs are empty.
+     */
+    virtual std::size_t
+    memoryBytes() const
+    {
+        std::size_t bytes =
+            linkHeldUntil_.capacity() * sizeof(Cycle) +
+            contenders_.capacity() * sizeof(CoreId) +
+            pendingBits_.capacity() * sizeof(std::uint64_t) +
+            linkFaultyUntil_.capacity() * sizeof(Cycle) +
+            linkDeadPermanent_.capacity() * sizeof(std::uint8_t) +
+            meshLinkFree_.capacity() * sizeof(Cycle) +
+            pending_.size() * sizeof(std::deque<Request>);
+        for (const std::deque<Request> &fifo : pending_)
+            bytes += fifo.size() * sizeof(Request);
+        if (grantWait_)
+            bytes += grantWait_->size() * sizeof(sim::LatencyHistogram);
+        return bytes;
+    }
+
   protected:
     struct Request
     {

@@ -88,6 +88,11 @@ class MonolithicOrg : public TlbOrganization
         return hit ? ProbeResult{true, *hit} : ProbeResult{};
     }
 
+    tlb::SetAssocTlb &array(unsigned index) override
+    {
+        return *banks_.at(index);
+    }
+
     Cycle bankLatency() const { return bankLatency_; }
 
   private:

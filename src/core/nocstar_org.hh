@@ -86,6 +86,18 @@ class NocstarOrg : public TlbOrganization
         return hit ? ProbeResult{true, *hit} : ProbeResult{};
     }
 
+    tlb::SetAssocTlb &array(unsigned index) override
+    {
+        return *slices_.at(index);
+    }
+
+    CoreId
+    walkCoreFor(CoreId requester, Addr vaddr) const override
+    {
+        return config_.ptwPlacement == PtwPlacement::Remote
+            ? sliceOf(vaddr) : requester;
+    }
+
     Interconnect &fabric() { return *fabric_; }
 
     Cycle sliceLatency() const { return sliceLatency_; }

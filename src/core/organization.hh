@@ -214,6 +214,26 @@ class TlbOrganization : public stats::StatGroup
     }
 
     /**
+     * The L2 array behind home index @p index (< numHomeArrays()).
+     * Functional warming and checkpointing use this to reach every
+     * array exactly once; index i is what homeArrayOf() returns.
+     */
+    virtual tlb::SetAssocTlb &array(unsigned index) = 0;
+
+    /**
+     * The core whose walker would service a miss on (@p requester,
+     * @p vaddr) under the configured walk-placement policy. Functional
+     * warming warms that walker's PSCs and L2 PTE lines, matching the
+     * detailed path's reference placement.
+     */
+    virtual CoreId
+    walkCoreFor(CoreId requester, Addr vaddr) const
+    {
+        (void)vaddr;
+        return requester;
+    }
+
+    /**
      * Perform translate()'s home-array probe ahead of time: the exact
      * lookupAnySize() call it would make, with the same LRU update,
      * prefetch-flag clear and per-array hit/miss counting, touching

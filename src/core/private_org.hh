@@ -66,6 +66,11 @@ class PrivateOrg : public TlbOrganization
         return hit ? ProbeResult{true, *hit} : ProbeResult{};
     }
 
+    tlb::SetAssocTlb &array(unsigned index) override
+    {
+        return *arrays_.at(index);
+    }
+
     /** Fixed cost of a private-TLB shootdown (IPI + local inval). */
     static constexpr Cycle shootdownLatency = 50;
 

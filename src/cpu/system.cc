@@ -9,12 +9,14 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <thread>
 
 #include "core/nocstar_org.hh"
 #include "energy/sram_model.hh"
+#include "sim/checkpoint.hh"
 #include "sim/trace_recorder.hh"
 
 namespace nocstar::cpu
@@ -65,6 +67,65 @@ System::LatencyStats::of(LatClass c)
     return l1Hit; // unreachable
 }
 
+System::SamplingStats::SamplingStats(stats::StatGroup *parent)
+    : stats::StatGroup("sampling", parent),
+      windows(this, "windows", "detail measurement windows completed"),
+      ffAccesses(this, "ff_accesses",
+                 "accesses fast-forwarded functionally"),
+      ipcMean(this, "ipc_mean", "mean per-window IPC proxy"),
+      ipcCi95(this, "ipc_ci95",
+              "95% confidence half-width around ipc_mean"),
+      latencyMean(this, "latency_mean",
+                  "mean per-window average L2 access latency"),
+      latencyCi95(this, "latency_ci95",
+                  "95% confidence half-width around latency_mean")
+{}
+
+namespace
+{
+
+/**
+ * Two-sided 97.5 % Student-t quantiles for df = 1..30; beyond 30 the
+ * normal approximation is within 2 %. Hardcoded so the CI math draws
+ * nothing from any simulation stream.
+ */
+constexpr double kT975[30] = {
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+    2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+    2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+    2.060,  2.056, 2.052, 2.048, 2.045, 2.042};
+
+double
+tQuantile975(std::size_t df)
+{
+    if (df == 0)
+        return 0.0;
+    return df <= 30 ? kT975[df - 1] : 1.960;
+}
+
+/** Sample mean and 95 % confidence half-width (Student t). */
+std::pair<double, double>
+meanCi95(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return {0.0, 0.0};
+    double sum = 0;
+    for (double x : xs)
+        sum += x;
+    double mean = sum / static_cast<double>(xs.size());
+    if (xs.size() < 2)
+        return {mean, 0.0};
+    double ss = 0;
+    for (double x : xs)
+        ss += (x - mean) * (x - mean);
+    double var = ss / static_cast<double>(xs.size() - 1);
+    double half = tQuantile975(xs.size() - 1) *
+                  std::sqrt(var / static_cast<double>(xs.size()));
+    return {mean, half};
+}
+
+} // namespace
+
 std::vector<std::string>
 SystemConfig::validate() const
 {
@@ -105,6 +166,45 @@ SystemConfig::validate() const
         errors.push_back("captureTracePath requires the legacy engine "
                          "(shards = 0): addresses are consumed inside "
                          "parallel shard windows");
+
+    if (sampling.enabled()) {
+        if (sampling.windows < 2)
+            errors.push_back(strCat(
+                "sampling.windows (", sampling.windows,
+                ") must be >= 2: a confidence interval needs at least "
+                "two samples"));
+        if (sampling.detailAccesses == 0)
+            errors.push_back("sampling.detailAccesses must be >= 1");
+    }
+    if (sampling.enabled() || sampling.warmupAccesses > 0 ||
+        !checkpointSavePath.empty() || !checkpointRestorePath.empty()) {
+        const char *what = sampling.enabled() ? "sampled simulation"
+                           : sampling.warmupAccesses > 0
+                               ? "fast-forward warming"
+                               : "checkpointing";
+        // These features schedule state at absolute cycles or consume
+        // extra RNG draws outside the serialized/fast-forwarded state,
+        // so they would silently break the exactness guarantees.
+        if (contextSwitchInterval != 0)
+            errors.push_back(strCat(what,
+                                    " cannot run with "
+                                    "contextSwitchInterval"));
+        if (stormRemapInterval != 0)
+            errors.push_back(strCat(what,
+                                    " cannot run with "
+                                    "stormRemapInterval"));
+        if (statsEpochInterval != 0)
+            errors.push_back(strCat(what,
+                                    " cannot run with "
+                                    "statsEpochInterval"));
+        if (!captureTracePath.empty())
+            errors.push_back(strCat(what,
+                                    " cannot run with "
+                                    "captureTracePath"));
+        if (!org.faults.empty())
+            errors.push_back(strCat(what,
+                                    " cannot run with a fault plan"));
+    }
     return errors;
 }
 
@@ -182,6 +282,8 @@ System::System(const SystemConfig &config)
     if (config.latencyStats || config.latencyPerContext)
         latency_ = std::make_unique<LatencyStats>(
             this, config.latencyPerContext ? config.apps.size() : 0);
+    if (config.sampling.enabled())
+        samplingStats_ = std::make_unique<SamplingStats>(this);
     if (auto *nocstar = dynamic_cast<core::NocstarOrg *>(org_.get()))
         counterFabric_ = &nocstar->fabric();
 
@@ -1126,8 +1228,8 @@ System::prewarm()
                 Addr vaddr =
                     workload::AccessGenerator::sharedBase(ctx) +
                     (r << pageShift(PageSize::FourKB));
-                org_->preloadShared(ctx, vaddr,
-                                    pageTable_->translate(ctx, vaddr));
+                warmInstall(0, ctx, vaddr,
+                            pageTable_->translate(ctx, vaddr), false);
             }
         }
     } else {
@@ -1150,9 +1252,10 @@ System::prewarm()
                         workload::AccessGenerator::sharedBase(
                             thread.ctx) +
                         (r << pageShift(PageSize::FourKB));
-                    org_->preloadPrivate(
+                    warmInstall(
                         c, thread.ctx, vaddr,
-                        pageTable_->translate(thread.ctx, vaddr));
+                        pageTable_->translate(thread.ctx, vaddr),
+                        false);
                 }
             }
         }
@@ -1168,53 +1271,534 @@ System::prewarm()
                 workload::AccessGenerator::privateBase(thread.ctx,
                                                        t_index) +
                 (p << pageShift(PageSize::FourKB));
-            mem::Translation t = pageTable_->translate(thread.ctx,
-                                                       vaddr);
-            if (shared)
-                org_->preloadShared(thread.ctx, vaddr, t);
-            else
-                org_->preloadPrivate(thread.core, thread.ctx, vaddr, t);
-            tlb::TlbEntry entry;
-            entry.valid = true;
-            entry.size = t.size;
-            entry.vpn = pageNumber(vaddr, t.size);
-            entry.ppn = t.ppn;
-            entry.ctx = thread.ctx;
-            l1s_.at(thread.core)->insert(entry);
+            warmInstall(thread.core, thread.ctx, vaddr,
+                        pageTable_->translate(thread.ctx, vaddr), true);
         }
     }
+}
+
+void
+System::warmInstall(CoreId core, ContextId ctx, Addr vaddr,
+                    const mem::Translation &t, bool into_l1)
+{
+    if (core::isShared(config_.org.kind))
+        org_->preloadShared(ctx, vaddr, t);
+    else
+        org_->preloadPrivate(core, ctx, vaddr, t);
+    if (into_l1) {
+        tlb::TlbEntry entry;
+        entry.valid = true;
+        entry.size = t.size;
+        entry.vpn = pageNumber(vaddr, t.size);
+        entry.ppn = t.ppn;
+        entry.ctx = ctx;
+        l1s_.at(core)->insert(entry);
+    }
+}
+
+void
+System::fastForwardAccess(HwThread &thread, Cycle now)
+{
+    ++thread.accessesDone;
+    Addr vaddr = nextAddress(thread);
+
+    // Stat-free L1 probe: refreshes recency exactly like a demand
+    // lookup without touching the demand counters. Probing every size
+    // array defers the page-table translation to the L1-miss path,
+    // which is what keeps fast-forward several times cheaper than
+    // detail per access.
+    if (l1s_[thread.core]->touchAnySize(thread.ctx, vaddr))
+        return;
+
+    mem::Translation t = pageTable_->translate(thread.ctx, vaddr);
+    PageNum vpn = pageNumber(vaddr, t.size);
+
+    // L1 miss: probe the home L2 array the detailed engine would, and
+    // on a miss warm the walk path (PSC + walk-reference caches) at
+    // the core the placement policy would walk on, then install into
+    // the home structure -- all without stats, queues or arbitration.
+    tlb::SetAssocTlb &home =
+        org_->array(org_->homeArrayOf(thread.core, vaddr));
+    if (!home.touchAnySize(thread.ctx, vaddr)) {
+        CoreId walk_core = org_->walkCoreFor(thread.core, vaddr);
+        walkers_[walk_core]->warmWalk(thread.ctx, vaddr, now);
+        warmInstall(thread.core, thread.ctx, vaddr, t, false);
+    }
+    // The returned translation refills the L1 either way.
+    tlb::TlbEntry entry;
+    entry.valid = true;
+    entry.size = t.size;
+    entry.vpn = vpn;
+    entry.ppn = t.ppn;
+    entry.ctx = thread.ctx;
+    l1s_[thread.core]->insert(entry);
+}
+
+void
+System::fastForward(std::uint64_t accesses)
+{
+    if (accesses == 0 || threads_.empty())
+        return;
+    Cycle now = queue_.curCycle();
+
+    // Extend every quota first so nextAddress()'s remaining-quota
+    // batch cap sees a consistent stream position throughout.
+    for (HwThread &thread : threads_)
+        thread.quota = thread.accessesDone + accesses;
+
+    // Round-robin in address-batch quanta, so shared structures (the
+    // page table, shared L2 arrays, walk caches) interleave the
+    // threads' streams roughly as detailed execution would.
+    std::vector<std::uint64_t> left(threads_.size(), accesses);
+    bool any = true;
+    while (any) {
+        any = false;
+        for (std::size_t i = 0; i < threads_.size(); ++i) {
+            auto n = std::min<std::uint64_t>(HwThread::addrBatch,
+                                             left[i]);
+            if (!n)
+                continue;
+            any = true;
+            left[i] -= n;
+            for (std::uint64_t k = 0; k < n; ++k)
+                fastForwardAccess(threads_[i], now);
+        }
+    }
+    ffAccessesDone_ += accesses * threads_.size();
+
+    // Advance the clock by the skipped stretch's nominal stall-free
+    // time (the worst per-access burst cost over the mix), so
+    // retention TTLs in the walk caches age across the gap. Any
+    // deterministic monotone charge is sound here; this one matches
+    // the detailed engine's hit-path cost. The queue is empty at every
+    // fast-forward point (quiescent boundary), so advancing cannot
+    // strand events.
+    double worst = 0;
+    for (const HwThread &thread : threads_) {
+        const workload::WorkloadSpec &spec =
+            config_.apps[thread.app].spec;
+        worst = std::max(worst, spec.instructionsPerAccess *
+                                        spec.baseCpi +
+                                    spec.dataStallPerAccess);
+    }
+    queue_.advanceTo(now + static_cast<Cycle>(
+                               worst * static_cast<double>(accesses)));
+}
+
+void
+System::drive()
+{
+    if (split_)
+        driveSharded();
+    else
+        queue_.run();
+}
+
+void
+System::beginRun(std::uint64_t total_quota)
+{
+    installContextSwitchEvent();
+    installStormEvent();
+    installEpochEvent();
+
+    if (config_.progressSeconds >= 0 && !progress_) {
+        progress_ = std::make_unique<Progress>();
+        progress_->start = std::chrono::steady_clock::now();
+        progress_->lastEmit = progress_->start;
+        progress_->totalQuota = total_quota;
+    }
+    nextCounterAt_ = 0;
+    installCounterEvent();
+    installProgressEvent();
+}
+
+std::uint64_t
+System::configFingerprint() const
+{
+    // Every configuration field that shapes the functional state a
+    // checkpoint carries: array geometry, stream seeds, the workload
+    // layout. Deliberately excludes pure wall-clock / timing knobs
+    // (shards, latencies, stats options), so a checkpoint taken at a
+    // quiescent boundary restores across engine choices.
+    std::vector<std::uint64_t> words;
+    auto put = [&words](std::uint64_t v) { words.push_back(v); };
+    auto putD = [&put](double v) {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, 8);
+        put(bits);
+    };
+
+    const core::OrgConfig &org = config_.org;
+    put(static_cast<std::uint64_t>(org.kind));
+    put(org.numCores);
+    put(org.l2Entries);
+    put(org.l2Assoc);
+    put(org.nocstarSliceEntries);
+    put(org.banks);
+    put(static_cast<std::uint64_t>(org.sliceMapping));
+    put(org.clusterWidth);
+    put(org.clusterHeight);
+    put(static_cast<std::uint64_t>(org.ptwPlacement));
+    put(org.prefetchDistance);
+
+    const tlb::L1TlbConfig &l1 = config_.l1;
+    put(l1.entries4k);
+    put(l1.assoc4k);
+    put(l1.entries2m);
+    put(l1.assoc2m);
+    put(l1.entries1g);
+    put(l1.assoc1g);
+    putD(l1.scale);
+
+    const mem::CacheModelConfig &caches = config_.caches;
+    put(caches.l2Lines);
+    put(caches.llcLines);
+    put(caches.l2RetentionCycles);
+    put(caches.llcRetentionCycles);
+    put(config_.walker.pscEntriesPerLevel);
+
+    put(config_.seed);
+    put(config_.superpages ? 1 : 0);
+    put(config_.smtPerCore);
+    put(static_cast<std::uint64_t>(config_.hotspotSlice) + 1);
+    put(config_.sampling.warmupAccesses);
+
+    put(config_.apps.size());
+    for (const AppConfig &app : config_.apps) {
+        const workload::WorkloadSpec &spec = app.spec;
+        put(app.threads);
+        put(sim::fnv1a(app.traceFile.data(), app.traceFile.size()));
+        put(spec.hotPages);
+        put(spec.warmPages);
+        putD(spec.warmAlpha);
+        put(spec.coldPages);
+        putD(spec.warmFraction);
+        putD(spec.coldFraction);
+        putD(spec.instructionsPerAccess);
+        putD(spec.baseCpi);
+        putD(spec.dataStallPerAccess);
+        putD(spec.superpageFraction);
+    }
+    return sim::fnv1a(words.data(), words.size() * sizeof(words[0]));
+}
+
+void
+System::saveCheckpoint(const std::string &path)
+{
+    sim::CkptWriter w(configFingerprint());
+
+    w.begin(sim::ckptTag('C', 'L', 'K', ' '));
+    w.u64(queue_.curCycle());
+    w.u64(ffAccessesDone_);
+    w.end();
+
+    w.begin(sim::ckptTag('R', 'N', 'G', 'S'));
+    for (std::uint64_t word : rng_.state())
+        w.u64(word);
+    w.end();
+
+    w.begin(sim::ckptTag('P', 'G', 'T', 'B'));
+    pageTable_->saveState(w);
+    w.end();
+
+    w.begin(sim::ckptTag('C', 'A', 'C', 'H'));
+    caches_->saveState(w);
+    w.end();
+
+    w.begin(sim::ckptTag('W', 'A', 'L', 'K'));
+    w.u64(walkers_.size());
+    for (const auto &walker : walkers_)
+        walker->saveState(w);
+    w.end();
+
+    w.begin(sim::ckptTag('L', '1', 'T', 'B'));
+    w.u64(l1s_.size());
+    for (const auto &l1 : l1s_)
+        l1->saveState(w);
+    w.end();
+
+    w.begin(sim::ckptTag('O', 'R', 'G', 'A'));
+    w.u64(org_->numHomeArrays());
+    for (unsigned i = 0; i < org_->numHomeArrays(); ++i)
+        org_->array(i).saveState(w);
+    w.end();
+
+    w.begin(sim::ckptTag('T', 'H', 'R', 'D'));
+    w.u64(threads_.size());
+    for (const HwThread &thread : threads_) {
+        w.u64(thread.accessesDone);
+        w.u64(thread.instructions);
+        w.f64(thread.cycleCarry);
+        w.u64(thread.pendingStall);
+        w.u32(thread.batchPos);
+        w.u32(thread.batchLen);
+        for (Addr a : thread.batch)
+            w.u64(a);
+        std::vector<std::uint64_t> gen_state;
+        thread.gen->saveState(gen_state);
+        w.u64(gen_state.size());
+        for (std::uint64_t word : gen_state)
+            w.u64(word);
+        w.u8(thread.hotspotRng ? 1 : 0);
+        if (thread.hotspotRng)
+            for (std::uint64_t word : thread.hotspotRng->state())
+                w.u64(word);
+    }
+    w.end();
+
+    w.save(path);
+    checkpointBytes_ = w.sizeBytes();
+    inform("checkpoint: saved ", w.sizeBytes(), " bytes to ", path);
+}
+
+void
+System::restoreCheckpoint(const std::string &path)
+{
+    sim::CkptReader r(path, configFingerprint());
+
+    r.enter(sim::ckptTag('C', 'L', 'K', ' '));
+    Cycle clk = r.u64();
+    ffAccessesDone_ = r.u64();
+    r.leave();
+
+    r.enter(sim::ckptTag('R', 'N', 'G', 'S'));
+    std::array<std::uint64_t, 4> rng_state;
+    for (std::uint64_t &word : rng_state)
+        word = r.u64();
+    rng_.setState(rng_state);
+    r.leave();
+
+    r.enter(sim::ckptTag('P', 'G', 'T', 'B'));
+    pageTable_->restoreState(r);
+    r.leave();
+
+    r.enter(sim::ckptTag('C', 'A', 'C', 'H'));
+    caches_->restoreState(r);
+    r.leave();
+
+    r.enter(sim::ckptTag('W', 'A', 'L', 'K'));
+    if (std::uint64_t n = r.u64(); n != walkers_.size())
+        fatal("checkpoint ", path, ": ", n,
+              " walkers saved but this system has ", walkers_.size());
+    for (auto &walker : walkers_)
+        walker->restoreState(r);
+    r.leave();
+
+    r.enter(sim::ckptTag('L', '1', 'T', 'B'));
+    if (std::uint64_t n = r.u64(); n != l1s_.size())
+        fatal("checkpoint ", path, ": ", n,
+              " L1 groups saved but this system has ", l1s_.size());
+    for (auto &l1 : l1s_)
+        l1->restoreState(r);
+    r.leave();
+
+    r.enter(sim::ckptTag('O', 'R', 'G', 'A'));
+    if (std::uint64_t n = r.u64(); n != org_->numHomeArrays())
+        fatal("checkpoint ", path, ": ", n,
+              " L2 arrays saved but this organization has ",
+              org_->numHomeArrays());
+    for (unsigned i = 0; i < org_->numHomeArrays(); ++i)
+        org_->array(i).restoreState(r);
+    r.leave();
+
+    r.enter(sim::ckptTag('T', 'H', 'R', 'D'));
+    if (std::uint64_t n = r.u64(); n != threads_.size())
+        fatal("checkpoint ", path, ": ", n,
+              " threads saved but this system has ", threads_.size());
+    for (HwThread &thread : threads_) {
+        thread.accessesDone = r.u64();
+        thread.instructions = r.u64();
+        thread.cycleCarry = r.f64();
+        thread.pendingStall = r.u64();
+        thread.batchPos = r.u32();
+        thread.batchLen = r.u32();
+        if (thread.batchPos > thread.batchLen ||
+            thread.batchLen > HwThread::addrBatch)
+            fatal("checkpoint ", path, ": thread batch cursor ",
+                  thread.batchPos, "/", thread.batchLen,
+                  " out of range");
+        for (Addr &a : thread.batch)
+            a = r.u64();
+        std::uint64_t gen_words = r.u64();
+        std::vector<std::uint64_t> gen_state(gen_words);
+        for (std::uint64_t &word : gen_state)
+            word = r.u64();
+        if (std::size_t used = thread.gen->restoreState(gen_state, 0);
+            used != gen_words)
+            fatal("checkpoint ", path, ": address source consumed ",
+                  used, " of ", gen_words, " state words");
+        bool has_hotspot = r.u8() != 0;
+        if (has_hotspot != (thread.hotspotRng != nullptr))
+            fatal("checkpoint ", path, ": hotspot stream mismatch");
+        if (thread.hotspotRng) {
+            std::array<std::uint64_t, 4> s;
+            for (std::uint64_t &word : s)
+                word = r.u64();
+            thread.hotspotRng->setState(s);
+        }
+    }
+    r.leave();
+
+    // The boundary is quiescent: the queue is empty and all timing
+    // state (ports, arbitration, outstanding walks) is pristine in
+    // both the checkpointing and the restoring run, so only the clock
+    // itself needs re-aligning.
+    queue_.advanceTo(clk);
+    inform("checkpoint: restored ", path, " at cycle ", clk);
+}
+
+System::MemoryAudit
+System::memoryAudit() const
+{
+    MemoryAudit audit;
+    for (unsigned i = 0; i < org_->numHomeArrays(); ++i)
+        audit.orgArrayBytes += org_->array(i).memoryBytes();
+    for (const auto &l1 : l1s_)
+        audit.l1Bytes += l1->memoryBytes();
+    audit.pageTableBytes = pageTable_->memoryBytes();
+    audit.cacheModelBytes = caches_->memoryBytes();
+    if (counterFabric_)
+        audit.fabricBytes = counterFabric_->memoryBytes();
+    audit.checkpointBytes = checkpointBytes_;
+    return audit;
 }
 
 RunResult
 System::run(std::uint64_t accesses_per_thread)
 {
-    prewarm();
+    if (!config_.checkpointRestorePath.empty()) {
+        restoreCheckpoint(config_.checkpointRestorePath);
+    } else {
+        prewarm();
+        if (config_.sampling.warmupAccesses > 0)
+            fastForward(config_.sampling.warmupAccesses);
+    }
+    // The warm boundary: prewarm / warmup done, nothing scheduled,
+    // no detailed state yet. Both checkpoint directions anchor here.
+    if (!config_.checkpointSavePath.empty())
+        saveCheckpoint(config_.checkpointSavePath);
+
+    if (config_.sampling.enabled())
+        return runSampled(accesses_per_thread);
+
     unfinished_ = static_cast<unsigned>(threads_.size());
     for (std::size_t i = 0; i < threads_.size(); ++i) {
-        threads_[i].quota = accesses_per_thread;
+        threads_[i].quota =
+            threads_[i].accessesDone + accesses_per_thread;
         // Stagger starts a little so cores do not phase-lock.
-        scheduleStep(i, rng_.below(8));
+        scheduleStep(i, queue_.curCycle() + rng_.below(8));
     }
-    installContextSwitchEvent();
-    installStormEvent();
-    installEpochEvent();
+    beginRun(accesses_per_thread * threads_.size());
 
-    if (config_.progressSeconds >= 0) {
-        progress_ = std::make_unique<Progress>();
-        progress_->start = std::chrono::steady_clock::now();
-        progress_->lastEmit = progress_->start;
-        progress_->totalQuota =
-            accesses_per_thread * threads_.size();
+    drive();
+
+    return finishRun();
+}
+
+RunResult
+System::runSampled(std::uint64_t accesses_per_thread)
+{
+    const SamplingConfig &sampling = config_.sampling;
+
+    // Window-placement jitter comes from a dedicated stream built
+    // fresh here, so a restored run draws exactly the gap lengths the
+    // straight-through run would.
+    Random gap_rng(sampling.seed ^ 0x5a3919f1ULL);
+
+    // The mean fast-forward gap: explicit, or derived so that warmup
+    // plus windows plus gaps tile the nominal per-thread run length.
+    std::uint64_t base_gap = sampling.ffAccesses;
+    if (base_gap == 0) {
+        std::uint64_t spent =
+            sampling.warmupAccesses +
+            static_cast<std::uint64_t>(sampling.windows) *
+                sampling.detailAccesses;
+        if (accesses_per_thread > spent && sampling.windows > 1)
+            base_gap = (accesses_per_thread - spent) /
+                       (sampling.windows - 1);
     }
-    nextCounterAt_ = 0;
-    installCounterEvent();
-    installProgressEvent();
 
-    if (split_)
-        driveSharded();
-    else
-        queue_.run();
+    beginRun(accesses_per_thread * threads_.size());
 
+    std::vector<double> ipc_samples;
+    std::vector<double> latency_samples;
+    for (unsigned w = 0; w < sampling.windows; ++w) {
+        if (w > 0) {
+            // Jittered gap in [base/2, 3*base/2]: breaks any phase
+            // lock between the window period and program periodicity,
+            // the classic systematic-sampling hazard.
+            std::uint64_t gap = base_gap >= 2
+                ? base_gap / 2 + gap_rng.below(base_gap + 1)
+                : base_gap;
+            fastForward(gap);
+        }
+
+        Cycle window_start = queue_.curCycle();
+        std::uint64_t instr_before = 0;
+        for (const HwThread &thread : threads_)
+            instr_before += thread.instructions;
+        double lat_before = org_->totalAccessLatency.value();
+        double acc_before = org_->l2Accesses.value();
+
+        unfinished_ = static_cast<unsigned>(threads_.size());
+        for (std::size_t i = 0; i < threads_.size(); ++i) {
+            threads_[i].finished = false;
+            threads_[i].quota =
+                threads_[i].accessesDone + sampling.detailAccesses;
+            scheduleStep(i, queue_.curCycle() + rng_.below(8));
+        }
+        if (w > 0) {
+            // The self-reinstalling counter / heartbeat events died
+            // with the previous window's drain; re-arm them.
+            installCounterEvent();
+            installProgressEvent();
+        }
+        drive();
+
+        Cycle window_end = window_start;
+        std::uint64_t instr_after = 0;
+        for (const HwThread &thread : threads_) {
+            window_end = std::max(window_end, thread.finishedAt);
+            instr_after += thread.instructions;
+        }
+        Cycle window_cycles = window_end - window_start;
+        ipc_samples.push_back(
+            window_cycles > 0
+                ? static_cast<double>(instr_after - instr_before) /
+                      static_cast<double>(window_cycles)
+                : 0.0);
+        double window_accesses = org_->l2Accesses.value() - acc_before;
+        latency_samples.push_back(
+            window_accesses > 0
+                ? (org_->totalAccessLatency.value() - lat_before) /
+                      window_accesses
+                : 0.0);
+    }
+
+    auto [ipc_mean, ipc_ci] = meanCi95(ipc_samples);
+    auto [lat_mean, lat_ci] = meanCi95(latency_samples);
+    samplingStats_->windows +=
+        static_cast<double>(ipc_samples.size());
+    samplingStats_->ffAccesses += static_cast<double>(ffAccessesDone_);
+    samplingStats_->ipcMean += ipc_mean;
+    samplingStats_->ipcCi95 += ipc_ci;
+    samplingStats_->latencyMean += lat_mean;
+    samplingStats_->latencyCi95 += lat_ci;
+
+    RunResult result = finishRun();
+    result.sampled = true;
+    result.sampleWindows = static_cast<unsigned>(ipc_samples.size());
+    result.sampledFfAccesses = ffAccessesDone_;
+    result.sampledIpcMean = ipc_mean;
+    result.sampledIpcCi95 = ipc_ci;
+    result.sampledLatencyMean = lat_mean;
+    result.sampledLatencyCi95 = lat_ci;
+    return result;
+}
+
+RunResult
+System::finishRun()
+{
     if (progress_)
         maybeProgress(true);
 

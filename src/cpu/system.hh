@@ -60,6 +60,31 @@ struct AppConfig
     std::string traceFile;
 };
 
+/**
+ * SMARTS-style sampled simulation: long stretches of the access stream
+ * run through a functional fast-forward engine (TLB / page-table /
+ * cache state updates only -- no event queue, no arbitration, no
+ * stats), interleaved with full-detail measurement windows whose
+ * per-window samples aggregate into a mean and a 95 % confidence
+ * interval. Off (windows == 0) leaves every run path byte-identical
+ * to a build without the feature.
+ */
+struct SamplingConfig
+{
+    /** Detail measurement windows (0 disables sampling). */
+    unsigned windows = 0;
+    /** Per-thread detailed accesses measured per window. */
+    std::uint64_t detailAccesses = 0;
+    /** Mean per-thread accesses fast-forwarded between windows. */
+    std::uint64_t ffAccesses = 0;
+    /** Per-thread accesses fast-forwarded before the first window. */
+    std::uint64_t warmupAccesses = 0;
+    /** Seed of the window-placement jitter stream. */
+    std::uint64_t seed = 1;
+
+    bool enabled() const { return windows > 0; }
+};
+
 /** Full system configuration. */
 struct SystemConfig
 {
@@ -185,6 +210,23 @@ struct SystemConfig
      */
     double progressSeconds = -1.0;
 
+    /** Sampled-simulation parameters (off unless windows > 0). */
+    SamplingConfig sampling;
+
+    /**
+     * If non-empty, save a checkpoint of the warmed functional state
+     * here -- taken at the quiescent boundary after prewarm and any
+     * sampling warmup, before the first detailed access -- and then
+     * continue running normally.
+     */
+    std::string checkpointSavePath;
+    /**
+     * If non-empty, restore the warmed state from this checkpoint
+     * instead of re-running prewarm / warmup. The checkpoint's config
+     * fingerprint must match this configuration.
+     */
+    std::string checkpointRestorePath;
+
     /**
      * Field-level configuration errors, one message per violation,
      * including everything OrgConfig::validate() reports (prefixed
@@ -258,6 +300,19 @@ struct RunResult
      */
     std::vector<double> concurrencyBuckets;
     std::vector<double> sliceConcurrencyBuckets;
+
+    // Sampled-simulation outputs (all zero unless sampling was on).
+    bool sampled = false;
+    unsigned sampleWindows = 0;
+    /** Accesses fast-forwarded functionally instead of simulated. */
+    std::uint64_t sampledFfAccesses = 0;
+    /** Mean per-window IPC proxy (window instructions / window cycles). */
+    double sampledIpcMean = 0;
+    /** 95 % confidence half-width around sampledIpcMean (Student t). */
+    double sampledIpcCi95 = 0;
+    /** Mean per-window average L2 access latency. */
+    double sampledLatencyMean = 0;
+    double sampledLatencyCi95 = 0;
 };
 
 /**
@@ -332,6 +387,36 @@ class System : public stats::StatGroup
      * Epoch entries are `{"epoch":k,"cycle":c,"stats":{...}}`.
      */
     void dumpStatsJson(std::ostream &out) const;
+
+    /**
+     * Per-component resident-byte accounting of the big simulation
+     * structures, for the scaling bench's memory audit. Host-side
+     * introspection only: taking it never perturbs simulated state.
+     */
+    struct MemoryAudit
+    {
+        /** SoA arrays of every L2 slice / bank / private array. */
+        std::size_t orgArrayBytes = 0;
+        /** SoA arrays of all per-core L1 TLB groups. */
+        std::size_t l1Bytes = 0;
+        /** Page-table region pool, index map and memo. */
+        std::size_t pageTableBytes = 0;
+        /** Walk-reference line stores (per-core L2s + LLC). */
+        std::size_t cacheModelBytes = 0;
+        /** Fabric arbitration state + path tables (NOCSTAR only). */
+        std::size_t fabricBytes = 0;
+        /** Serialized size of the last checkpoint written (0 if none). */
+        std::size_t checkpointBytes = 0;
+
+        std::size_t
+        total() const
+        {
+            return orgArrayBytes + l1Bytes + pageTableBytes +
+                   cacheModelBytes + fabricBytes + checkpointBytes;
+        }
+    };
+
+    MemoryAudit memoryAudit() const;
 
   private:
     struct HwThread
@@ -495,8 +580,70 @@ class System : public stats::StatGroup
         Cycle at;
     };
 
+    /** The "sampling" stats child group, created only when sampling
+     * is enabled so the stats tree is unchanged otherwise. */
+    struct SamplingStats : stats::StatGroup
+    {
+        explicit SamplingStats(stats::StatGroup *parent);
+
+        stats::Scalar windows;
+        stats::Scalar ffAccesses;
+        stats::Scalar ipcMean;
+        stats::Scalar ipcCi95;
+        stats::Scalar latencyMean;
+        stats::Scalar latencyCi95;
+    };
+
     /** Preload steady-state resident translations (see system.cc). */
     void prewarm();
+
+    /**
+     * The one state-touching install path shared by prewarm() and the
+     * fast-forward engine: home L2 structure via the organization's
+     * preload hooks, optionally the requesting core's L1 group.
+     */
+    void warmInstall(CoreId core, ContextId ctx, Addr vaddr,
+                     const mem::Translation &t, bool into_l1);
+
+    /**
+     * Functionally fast-forward every unfinished thread by
+     * @p accesses each: batched addresses stream through the L1 / L2 /
+     * page-table / walker-cache state updates only -- no event queue,
+     * no arbitration, no timing, no stats -- then the clock advances
+     * by the threads' nominal (stall-free) cycles so retention TTLs
+     * age as they would under detailed simulation.
+     */
+    void fastForward(std::uint64_t accesses);
+
+    /** One functional access of @p thread at clock @p now. */
+    void fastForwardAccess(HwThread &thread, Cycle now);
+
+    /** Run the configured engine until all queues drain. */
+    void drive();
+
+    /** Schedule the per-run events and stats plumbing shared by the
+     * detailed and sampled run paths. */
+    void beginRun(std::uint64_t total_quota);
+
+    /** Build the RunResult from the accumulated state (run() tail). */
+    RunResult finishRun();
+
+    /** The sampled-simulation run loop (sampling.enabled()). */
+    RunResult runSampled(std::uint64_t accesses_per_thread);
+
+    /**
+     * FNV-1a fingerprint over every configuration field that shapes
+     * the functional state a checkpoint carries (array geometry,
+     * stream seeds, workload layout). Guards restore against a
+     * mismatched configuration.
+     */
+    std::uint64_t configFingerprint() const;
+
+    /** Serialize the warmed functional state to @p path. */
+    void saveCheckpoint(const std::string &path);
+
+    /** Restore state saved by saveCheckpoint() (fatal on mismatch). */
+    void restoreCheckpoint(const std::string &path);
 
     /** Issue one access for @p thread at the current cycle. */
     void step(std::size_t thread_index);
@@ -609,6 +756,14 @@ class System : public stats::StatGroup
     std::vector<std::vector<std::uint32_t>> probePlan_;
     /** Wall-clock split of the window loop (see ShardTiming). */
     ShardTiming timing_;
+
+    // Sampled-simulation / checkpoint state (inert unless configured).
+    /** Sampling stats group; null unless sampling is enabled. */
+    std::unique_ptr<SamplingStats> samplingStats_;
+    /** Serialized size of the last checkpoint written (memory audit). */
+    std::size_t checkpointBytes_ = 0;
+    /** Total accesses fast-forwarded functionally this run. */
+    std::uint64_t ffAccessesDone_ = 0;
 
     // Observability state (all null / inert unless configured).
     /** Latency histograms; null unless latencyStats/latencyPerContext. */

@@ -111,4 +111,79 @@ CacheModel::foreignFills(CoreId core) const
     return core < foreignFills_.size() ? foreignFills_[core] : 0;
 }
 
+void
+CacheModel::warmAccess(CoreId walk_core, Addr line, Cycle now)
+{
+    if (walk_core >= l2_.size())
+        panic("cache warm access from unknown core ", walk_core);
+    LineStore &l2 = l2_[walk_core];
+    if (l2.probe(line, now))
+        return;
+    if (!llc_.probe(line, now))
+        llc_.fill(line, now);
+    l2.fill(line, now);
+}
+
+void
+CacheModel::saveStore(sim::CkptWriter &w, const LineStore &store)
+{
+    // The fifo holds the live lines in install order, so (line, last
+    // touch) pairs in fifo order reconstruct map and eviction order.
+    w.u64(store.fifo.size());
+    for (Addr line : store.fifo) {
+        const Cycle *touched = store.lines.find(line);
+        w.u64(line);
+        w.u64(touched ? *touched : 0);
+    }
+}
+
+void
+CacheModel::restoreStore(sim::CkptReader &r, LineStore &store)
+{
+    store.lines.clear();
+    store.fifo.clear();
+    std::uint64_t count = r.u64();
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Addr line = r.u64();
+        Cycle touched = r.u64();
+        store.lines.emplace(line, touched);
+        store.fifo.push_back(line);
+    }
+}
+
+void
+CacheModel::saveState(sim::CkptWriter &w) const
+{
+    w.u64(l2_.size());
+    for (const LineStore &store : l2_)
+        saveStore(w, store);
+    saveStore(w, llc_);
+}
+
+void
+CacheModel::restoreState(sim::CkptReader &r)
+{
+    std::uint64_t cores = r.u64();
+    if (cores != l2_.size())
+        fatal("cache model checkpoint: ", cores,
+              " cores saved but this system has ", l2_.size());
+    for (LineStore &store : l2_)
+        restoreStore(r, store);
+    restoreStore(r, llc_);
+}
+
+std::size_t
+CacheModel::memoryBytes() const
+{
+    using LineSlot = FlatMap<Addr, Cycle>::Slot;
+    auto storeBytes = [](const LineStore &store) {
+        return store.lines.capacity() * (sizeof(LineSlot) + 1) +
+               store.fifo.size() * sizeof(Addr);
+    };
+    std::size_t total = storeBytes(llc_);
+    for (const LineStore &store : l2_)
+        total += storeBytes(store);
+    return total;
+}
+
 } // namespace nocstar::mem

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "energy/translation_energy.hh"
+#include "sim/checkpoint.hh"
 #include "sim/flat_map.hh"
 #include "sim/inline_function.hh"
 #include "sim/stats.hh"
@@ -80,6 +81,23 @@ class CacheModel : public stats::StatGroup
     std::uint64_t foreignFills(CoreId core) const;
 
     /**
+     * Functional-warming reference: moves the line stores exactly as
+     * access() would (probe refresh, LLC fill on miss, L2 fill) but
+     * counts no stats, never fires the foreign-fill hook and returns
+     * no latency. Used by fast-forward warming.
+     */
+    void warmAccess(CoreId walk_core, Addr line, Cycle now);
+
+    /** Serialize every line store (checkpointing). */
+    void saveState(sim::CkptWriter &w) const;
+
+    /** Restore state captured by saveState(). */
+    void restoreState(sim::CkptReader &r);
+
+    /** Resident bytes of the line stores (memory audit). */
+    std::size_t memoryBytes() const;
+
+    /**
      * Hook invoked whenever a foreign fill lands in a core's L2, so the
      * system can charge that core a pollution penalty (Fig 17).
      */
@@ -121,6 +139,9 @@ class CacheModel : public stats::StatGroup
         /** @return true if the line was newly installed. */
         bool fill(Addr line, Cycle now);
     };
+
+    static void saveStore(sim::CkptWriter &w, const LineStore &store);
+    static void restoreStore(sim::CkptReader &r, LineStore &store);
 
     CacheModelConfig config_;
     std::vector<LineStore> l2_; ///< one per core

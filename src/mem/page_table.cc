@@ -182,4 +182,60 @@ PageTable::isSuperpage(ContextId ctx, Addr vaddr) const
     return regionWantsSuperpage(ctx, key);
 }
 
+void
+PageTable::saveState(sim::CkptWriter &w) const
+{
+    w.u64(nextFrame_);
+    w.u64(regionPool_.size());
+    for (const Region &region : regionPool_) {
+        w.u8(region.superpage ? 1 : 0);
+        w.u64(region.frame);
+        w.u32(region.version);
+    }
+    w.u64(regionIndex_.size());
+    for (const auto &slot : regionIndex_) {
+        w.u64(slot.first);
+        w.u32(slot.second);
+    }
+}
+
+void
+PageTable::restoreState(sim::CkptReader &r)
+{
+    nextFrame_ = r.u64();
+    regionPool_.clear();
+    std::uint64_t pool = r.u64();
+    regionPool_.reserve(pool);
+    for (std::uint64_t i = 0; i < pool; ++i) {
+        Region region;
+        region.superpage = r.u8() != 0;
+        region.frame = r.u64();
+        region.version = r.u32();
+        regionPool_.push_back(region);
+    }
+    regionIndex_.clear();
+    std::uint64_t count = r.u64();
+    regionIndex_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        RegionKey key = r.u64();
+        std::uint32_t index = r.u32();
+        if (index >= regionPool_.size())
+            fatal("page table checkpoint: region index ", index,
+                  " out of range (pool has ", regionPool_.size(), ")");
+        regionIndex_.emplace(key, index);
+    }
+    // The memo caches (key, pool index, version) triples; stale slots
+    // would be version-checked anyway, but start clean.
+    memo_.assign(memoSize, RegionMemo{});
+}
+
+std::size_t
+PageTable::memoryBytes() const
+{
+    using IndexSlot = FlatMap<RegionKey, std::uint32_t>::Slot;
+    return regionPool_.capacity() * sizeof(Region) +
+           regionIndex_.capacity() * (sizeof(IndexSlot) + 1) +
+           memo_.capacity() * sizeof(RegionMemo);
+}
+
 } // namespace nocstar::mem

@@ -22,6 +22,7 @@
 #include <optional>
 #include <vector>
 
+#include "sim/checkpoint.hh"
 #include "sim/flat_map.hh"
 #include "sim/types.hh"
 
@@ -130,6 +131,20 @@ class PageTable
 
     /** Number of distinct 2 MB regions allocated so far. */
     std::uint64_t regionsAllocated() const { return regionPool_.size(); }
+
+    /**
+     * Serialize the allocation state (frame allocator, region pool,
+     * region index). The memo is a version-validated pure cache and is
+     * not saved; restoreState() clears it, which cannot change any
+     * translate() result.
+     */
+    void saveState(sim::CkptWriter &w) const;
+
+    /** Restore state captured by saveState(). */
+    void restoreState(sim::CkptReader &r);
+
+    /** Resident bytes of the region pool, index and memo (audit). */
+    std::size_t memoryBytes() const;
 
   private:
     struct Region

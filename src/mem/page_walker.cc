@@ -121,4 +121,57 @@ PageTableWalker::walk(ContextId ctx, Addr vaddr, CoreId requester_core,
     return result;
 }
 
+void
+PageTableWalker::warmWalk(ContextId ctx, Addr vaddr, Cycle now)
+{
+    table_.translate(ctx, vaddr);
+    if (config_.fixedLatency)
+        return; // fixed-latency mode references no modeled caches
+    WalkLines lines = table_.walkAddresses(ctx, vaddr);
+    std::size_t leaf = lines.size() - 1;
+    for (std::size_t level = 0; level < lines.size(); ++level) {
+        bool upper = level < leaf && level < 3;
+        std::uint64_t psc_key =
+            (static_cast<std::uint64_t>(ctx) << 48) ^
+            (vaddr >> (39 - 9 * level));
+        if (upper && psc_[level].probe(psc_key))
+            continue;
+        caches_.warmAccess(core_, lines[level], now);
+        if (upper)
+            psc_[level].fill(psc_key, now);
+    }
+}
+
+void
+PageTableWalker::saveState(sim::CkptWriter &w) const
+{
+    // The fifo holds exactly the live keys in fill order, so saving
+    // (key, fill cycle) pairs in fifo order reconstructs both the map
+    // and the eviction order.
+    for (const Psc &psc : psc_) {
+        w.u64(psc.fifo.size());
+        for (std::uint64_t key : psc.fifo) {
+            const Cycle *cycle = psc.entries.find(key);
+            w.u64(key);
+            w.u64(cycle ? *cycle : 0);
+        }
+    }
+}
+
+void
+PageTableWalker::restoreState(sim::CkptReader &r)
+{
+    for (Psc &psc : psc_) {
+        psc.entries.clear();
+        psc.fifo.clear();
+        std::uint64_t count = r.u64();
+        for (std::uint64_t i = 0; i < count; ++i) {
+            std::uint64_t key = r.u64();
+            Cycle cycle = r.u64();
+            psc.entries.emplace(key, cycle);
+            psc.fifo.push_back(key);
+        }
+    }
+}
+
 } // namespace nocstar::mem

@@ -92,6 +92,21 @@ class PageTableWalker : public stats::StatGroup
     /** Cycle until which the walker is occupied. */
     Cycle busyUntil() const { return busyUntil_; }
 
+    /**
+     * Functional-warming walk: updates the PSCs and the cache model's
+     * line stores exactly along the walk's reference pattern, but
+     * counts no stats, charges no energy and leaves the walker's
+     * timing (busyUntil) untouched. Used by fast-forward to keep
+     * walker-adjacent state warm without simulating the walk.
+     */
+    void warmWalk(ContextId ctx, Addr vaddr, Cycle now);
+
+    /** Serialize the PSC state (checkpointing). */
+    void saveState(sim::CkptWriter &w) const;
+
+    /** Restore state captured by saveState(). */
+    void restoreState(sim::CkptReader &r);
+
     stats::Scalar walks;
     stats::Scalar walkCycles;
     stats::Scalar queueCycles;

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Checkpoint frame writer/reader implementation.
+ */
+
+#include "sim/checkpoint.hh"
+
+#include <cstdio>
+
+namespace nocstar::sim
+{
+
+namespace
+{
+
+constexpr std::uint32_t kMagic = ckptTag('N', 'C', 'K', 'P');
+
+void
+putLeInto(std::vector<std::uint8_t> &out, std::uint64_t v,
+          unsigned bytes)
+{
+    for (unsigned i = 0; i < bytes; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint64_t
+getLeFrom(const std::vector<std::uint8_t> &buf, std::size_t pos,
+          unsigned bytes)
+{
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < bytes; ++i)
+        v |= static_cast<std::uint64_t>(buf[pos + i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+std::uint64_t
+fnv1a(const void *data, std::size_t size, std::uint64_t hash)
+{
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+void
+CkptWriter::begin(std::uint32_t tag)
+{
+    if (inSection_)
+        panic("checkpoint section opened inside another section");
+    inSection_ = true;
+    putLe(tag, 4);
+    sectionStart_ = buf_.size();
+    putLe(0, 8); // length, patched by end()
+}
+
+void
+CkptWriter::end()
+{
+    if (!inSection_)
+        panic("checkpoint end() without begin()");
+    inSection_ = false;
+    std::uint64_t len = buf_.size() - sectionStart_ - 8;
+    for (unsigned i = 0; i < 8; ++i)
+        buf_[sectionStart_ + i] =
+            static_cast<std::uint8_t>(len >> (8 * i));
+}
+
+std::vector<std::uint8_t>
+CkptWriter::framed() const
+{
+    if (inSection_)
+        panic("checkpoint framed() with an open section");
+    std::vector<std::uint8_t> out;
+    out.reserve(buf_.size() + 32);
+    putLeInto(out, kMagic, 4);
+    putLeInto(out, kCheckpointVersion, 4);
+    putLeInto(out, fingerprint_, 8);
+    putLeInto(out, buf_.size(), 8);
+    out.insert(out.end(), buf_.begin(), buf_.end());
+    putLeInto(out, fnv1a(out.data(), out.size()), 8);
+    return out;
+}
+
+void
+CkptWriter::save(const std::string &path) const
+{
+    std::vector<std::uint8_t> out = framed();
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        fatal("checkpoint: cannot open '", path, "' for writing");
+    std::size_t written = std::fwrite(out.data(), 1, out.size(), f);
+    bool flushed = std::fclose(f) == 0;
+    if (written != out.size() || !flushed)
+        fatal("checkpoint: short write to '", path, "'");
+}
+
+CkptReader::CkptReader(const std::string &path,
+                       std::uint64_t expect_fingerprint)
+    : path_(path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        fatal("checkpoint: cannot open '", path, "'");
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    if (size < 0) {
+        std::fclose(f);
+        fatal("checkpoint: cannot size '", path, "'");
+    }
+    buf_.resize(static_cast<std::size_t>(size));
+    std::size_t got = buf_.empty()
+                          ? 0
+                          : std::fread(buf_.data(), 1, buf_.size(), f);
+    std::fclose(f);
+    if (got != buf_.size())
+        fatal("checkpoint: short read from '", path, "'");
+
+    // Header: magic, version, fingerprint, payload size; trailer:
+    // checksum. 32 bytes total framing.
+    if (buf_.size() < 32)
+        fatal("checkpoint '", path, "': truncated (", buf_.size(),
+              " bytes is smaller than the file header)");
+    if (getLeFrom(buf_, 0, 4) != kMagic)
+        fatal("checkpoint '", path, "': bad magic (not a checkpoint "
+              "file)");
+    std::uint64_t version = getLeFrom(buf_, 4, 4);
+    if (version != kCheckpointVersion)
+        fatal("checkpoint '", path, "': format version ", version,
+              " but this build reads version ", kCheckpointVersion);
+    std::uint64_t fingerprint = getLeFrom(buf_, 8, 8);
+    if (fingerprint != expect_fingerprint)
+        fatal("checkpoint '", path, "': configuration fingerprint ",
+              fingerprint, " does not match this run's ",
+              expect_fingerprint,
+              " (the checkpoint was produced by a different system "
+              "configuration)");
+    std::uint64_t payload = getLeFrom(buf_, 16, 8);
+    if (payload != buf_.size() - 32)
+        fatal("checkpoint '", path, "': truncated (payload claims ",
+              payload, " bytes, file holds ", buf_.size() - 32, ")");
+    std::uint64_t stored = getLeFrom(buf_, buf_.size() - 8, 8);
+    std::uint64_t computed = fnv1a(buf_.data(), buf_.size() - 8);
+    if (stored != computed)
+        fatal("checkpoint '", path, "': checksum mismatch (file is "
+              "corrupted)");
+    pos_ = 24;
+    payloadEnd_ = buf_.size() - 8;
+}
+
+void
+CkptReader::enter(std::uint32_t tag)
+{
+    if (inSection_)
+        panic("checkpoint enter() inside a section");
+    if (payloadEnd_ - pos_ < 12)
+        fatal("checkpoint '", path_, "': expected another section but "
+              "the payload is exhausted");
+    std::uint32_t found =
+        static_cast<std::uint32_t>(getLeFrom(buf_, pos_, 4));
+    std::uint64_t len = getLeFrom(buf_, pos_ + 4, 8);
+    if (found != tag)
+        fatal("checkpoint '", path_, "': expected section ",
+              static_cast<char>(tag >> 24),
+              static_cast<char>((tag >> 16) & 0xff),
+              static_cast<char>((tag >> 8) & 0xff),
+              static_cast<char>(tag & 0xff), " but found ",
+              static_cast<char>(found >> 24),
+              static_cast<char>((found >> 16) & 0xff),
+              static_cast<char>((found >> 8) & 0xff),
+              static_cast<char>(found & 0xff));
+    pos_ += 12;
+    if (len > payloadEnd_ - pos_)
+        fatal("checkpoint '", path_, "': section length ", len,
+              " overruns the payload");
+    sectionEnd_ = pos_ + static_cast<std::size_t>(len);
+    inSection_ = true;
+}
+
+void
+CkptReader::leave()
+{
+    if (!inSection_)
+        panic("checkpoint leave() without enter()");
+    if (pos_ != sectionEnd_)
+        fatal("checkpoint '", path_, "': section has ",
+              sectionEnd_ - pos_, " unread bytes (format mismatch)");
+    inSection_ = false;
+}
+
+void
+CkptReader::need(std::size_t n)
+{
+    std::size_t limit = inSection_ ? sectionEnd_ : payloadEnd_;
+    if (limit - pos_ < n)
+        fatal("checkpoint '", path_, "': field read of ", n,
+              " bytes overruns its section (format mismatch)");
+}
+
+std::uint64_t
+CkptReader::getLe(unsigned bytes)
+{
+    need(bytes);
+    std::uint64_t v = getLeFrom(buf_, pos_, bytes);
+    pos_ += bytes;
+    return v;
+}
+
+} // namespace nocstar::sim

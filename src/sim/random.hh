@@ -9,6 +9,7 @@
 #ifndef NOCSTAR_SIM_RANDOM_HH
 #define NOCSTAR_SIM_RANDOM_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -98,6 +99,21 @@ class Random
 
     /** Bernoulli draw with probability @p p of true. */
     bool chance(double p) { return uniform() < p; }
+
+    /** Snapshot the raw generator state (checkpointing). */
+    std::array<std::uint64_t, 4>
+    state() const
+    {
+        return {state_[0], state_[1], state_[2], state_[3]};
+    }
+
+    /** Restore a state captured by state(). */
+    void
+    setState(const std::array<std::uint64_t, 4> &s)
+    {
+        for (std::size_t i = 0; i < 4; ++i)
+            state_[i] = s[i];
+    }
 
   private:
     std::uint64_t state_[4];

@@ -142,10 +142,15 @@ Distribution::percentileEst(double q) const
                 continue;
             const auto count = static_cast<double>(buckets_[i]);
             if (cumulative + count >= target) {
-                const double lo =
-                    min_ + bucketSize_ * static_cast<double>(i);
-                estimate =
-                    lo + bucketSize_ * ((target - cumulative) / count);
+                // The bucket holding the rank reports its bucket value
+                // directly. Interpolating within the bucket assumes
+                // samples spread uniformly across it, which grossly
+                // inflates point-mass distributions (e.g. a >99%-zero
+                // streak distribution reported p50 ~ 0.5 with a mean
+                // of 0.003); integer-valued stats make the lower edge
+                // the exact answer, and for fractional stats it is
+                // never worse than the midpoint assumption.
+                estimate = min_ + bucketSize_ * static_cast<double>(i);
                 break;
             }
             cumulative += count;

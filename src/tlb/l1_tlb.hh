@@ -58,6 +58,66 @@ class L1TlbGroup : public stats::StatGroup
         arrayFor(entry.size).insert(entry);
     }
 
+    /**
+     * Stat-free probe used by functional fast-forward: refreshes LRU
+     * exactly like lookup() but counts no hits/misses, so warming
+     * leaves the measured stats untouched.
+     */
+    const TlbEntry *
+    touch(ContextId ctx, PageNum vpn, PageSize size)
+    {
+        return arrayFor(size).touch(ctx, vpn, size);
+    }
+
+    /**
+     * Stat-free probe of all three arrays without a prior translation
+     * (fast-forward hot path: most accesses hit the L1, so resolving
+     * the page size first just to pick the array would make the page
+     * table the bottleneck). Each array only ever holds entries of its
+     * own size, so a hit here mutates exactly what touch() with the
+     * translated size would.
+     */
+    const TlbEntry *
+    touchAnySize(ContextId ctx, Addr vaddr)
+    {
+        if (const TlbEntry *entry = tlb4k_->touch(
+                ctx, pageNumber(vaddr, PageSize::FourKB),
+                PageSize::FourKB))
+            return entry;
+        if (const TlbEntry *entry = tlb2m_->touch(
+                ctx, pageNumber(vaddr, PageSize::TwoMB),
+                PageSize::TwoMB))
+            return entry;
+        return tlb1g_->touch(ctx, pageNumber(vaddr, PageSize::OneGB),
+                             PageSize::OneGB);
+    }
+
+    /** Serialize all three arrays (checkpointing). */
+    void
+    saveState(sim::CkptWriter &w) const
+    {
+        tlb4k_->saveState(w);
+        tlb2m_->saveState(w);
+        tlb1g_->saveState(w);
+    }
+
+    /** Restore state captured by saveState(). */
+    void
+    restoreState(sim::CkptReader &r)
+    {
+        tlb4k_->restoreState(r);
+        tlb2m_->restoreState(r);
+        tlb1g_->restoreState(r);
+    }
+
+    /** Resident bytes of the three arrays (memory audit). */
+    std::size_t
+    memoryBytes() const
+    {
+        return tlb4k_->memoryBytes() + tlb2m_->memoryBytes() +
+               tlb1g_->memoryBytes();
+    }
+
     /** Invalidate a single translation (shootdown). */
     bool
     invalidate(ContextId ctx, PageNum vpn, PageSize size)

@@ -246,6 +246,90 @@ SetAssocTlb::present(ContextId ctx, PageNum vpn, PageSize size) const
     return findIndex(ctx, vpn, size) >= 0;
 }
 
+const TlbEntry *
+SetAssocTlb::touch(ContextId ctx, PageNum vpn, PageSize size)
+{
+    int index = findIndex(ctx, vpn, size);
+    if (index < 0)
+        return nullptr;
+    TlbEntry &entry = payload_[static_cast<std::size_t>(index)];
+    entry.prefetched = false;
+    lastUse_[static_cast<std::size_t>(index)] = ++lruClock_;
+    return &entry;
+}
+
+const TlbEntry *
+SetAssocTlb::touchAnySize(ContextId ctx, Addr vaddr)
+{
+    static constexpr PageSize sizes[] = {PageSize::FourKB,
+                                         PageSize::TwoMB,
+                                         PageSize::OneGB};
+    for (PageSize size : sizes) {
+        int index = findIndex(ctx, pageNumber(vaddr, size), size);
+        if (index >= 0) {
+            TlbEntry &entry = payload_[static_cast<std::size_t>(index)];
+            entry.prefetched = false;
+            lastUse_[static_cast<std::size_t>(index)] = ++lruClock_;
+            return &entry;
+        }
+    }
+    return nullptr;
+}
+
+void
+SetAssocTlb::saveState(sim::CkptWriter &w) const
+{
+    w.u32(numEntries_);
+    w.u32(assoc_);
+    w.u64(lruClock_);
+    w.u64(validCount_);
+    for (std::size_t i = 0; i < numEntries_; ++i) {
+        w.u64(keys_[i]);
+        w.u64(lastUse_[i]);
+        const TlbEntry &e = payload_[i];
+        w.u8(e.valid ? 1 : 0);
+        w.u64(e.vpn);
+        w.u64(e.ppn);
+        w.u64(e.ctx);
+        w.u8(static_cast<std::uint8_t>(e.size));
+        w.u64(e.lastUse);
+        w.u8(e.prefetched ? 1 : 0);
+    }
+}
+
+void
+SetAssocTlb::restoreState(sim::CkptReader &r)
+{
+    std::uint32_t entries = r.u32();
+    std::uint32_t assoc = r.u32();
+    if (entries != numEntries_ || assoc != assoc_)
+        fatal("TLB '", name(), "': checkpoint geometry ", entries, "x",
+              assoc, " does not match this array's ", numEntries_, "x",
+              assoc_);
+    lruClock_ = r.u64();
+    validCount_ = r.u64();
+    for (std::size_t i = 0; i < numEntries_; ++i) {
+        keys_[i] = r.u64();
+        lastUse_[i] = r.u64();
+        TlbEntry &e = payload_[i];
+        e.valid = r.u8() != 0;
+        e.vpn = r.u64();
+        e.ppn = r.u64();
+        e.ctx = static_cast<ContextId>(r.u64());
+        e.size = static_cast<PageSize>(r.u8());
+        e.lastUse = r.u64();
+        e.prefetched = r.u8() != 0;
+    }
+}
+
+std::size_t
+SetAssocTlb::memoryBytes() const
+{
+    return keys_.capacity() * sizeof(std::uint64_t) +
+           lastUse_.capacity() * sizeof(std::uint64_t) +
+           payload_.capacity() * sizeof(TlbEntry);
+}
+
 bool
 SetAssocTlb::invalidate(ContextId ctx, PageNum vpn, PageSize size)
 {

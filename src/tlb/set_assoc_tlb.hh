@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/checkpoint.hh"
 #include "sim/stats.hh"
 #include "tlb/tlb_entry.hh"
 
@@ -75,6 +76,30 @@ class SetAssocTlb : public stats::StatGroup
      * does not touch recency or hit/miss counters.
      */
     bool present(ContextId ctx, PageNum vpn, PageSize size) const;
+
+    /**
+     * Functional-warming probe: behaves like a demand lookup for the
+     * array *state* (refreshes recency, consumes the prefetched bit)
+     * but counts nothing, so fast-forwarded accesses leave every
+     * RunResult-visible statistic untouched.
+     */
+    const TlbEntry *touch(ContextId ctx, PageNum vpn, PageSize size);
+
+    /** Functional-warming counterpart of lookupAnySize(). */
+    const TlbEntry *touchAnySize(ContextId ctx, Addr vaddr);
+
+    /**
+     * Serialize the mutable array state (tags, recency, payloads,
+     * LRU clock) to @p w. Geometry is written first and checked on
+     * restore, so a checkpoint never lands in a mismatched array.
+     */
+    void saveState(sim::CkptWriter &w) const;
+
+    /** Restore state captured by saveState(). */
+    void restoreState(sim::CkptReader &r);
+
+    /** Resident bytes of the SoA storage (memory audit). */
+    std::size_t memoryBytes() const;
 
     /** Invalidate one translation. @return true if it was present. */
     bool invalidate(ContextId ctx, PageNum vpn, PageSize size);

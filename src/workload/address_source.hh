@@ -9,6 +9,8 @@
 #define NOCSTAR_WORKLOAD_ADDRESS_SOURCE_HH
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "sim/types.hh"
 
@@ -38,6 +40,28 @@ class AddressSource
     {
         for (std::size_t i = 0; i < n; ++i)
             out[i] = next();
+    }
+
+    /**
+     * Append this source's resumable position to @p out as 64-bit
+     * words (checkpointing). The synthetic generator saves its RNG
+     * state, the trace replayer its cursor; a source with no mutable
+     * state saves nothing.
+     */
+    virtual void saveState(std::vector<std::uint64_t> &out) const
+    {
+        (void)out;
+    }
+
+    /**
+     * Consume the words saveState() appended from @p in starting at
+     * @p pos, restoring the stream position. Returns the new @p pos.
+     */
+    virtual std::size_t
+    restoreState(const std::vector<std::uint64_t> &in, std::size_t pos)
+    {
+        (void)in;
+        return pos;
     }
 };
 

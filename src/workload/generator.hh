@@ -74,6 +74,23 @@ class AccessGenerator : public AddressSource
                0x000400000000ULL * (static_cast<Addr>(thread) + 1);
     }
 
+    /** Checkpoint: the RNG words are the only mutable state. */
+    void
+    saveState(std::vector<std::uint64_t> &out) const override
+    {
+        for (std::uint64_t word : rng_.state())
+            out.push_back(word);
+    }
+
+    std::size_t
+    restoreState(const std::vector<std::uint64_t> &in,
+                 std::size_t pos) override
+    {
+        rng_.setState({in.at(pos), in.at(pos + 1), in.at(pos + 2),
+                       in.at(pos + 3)});
+        return pos + 4;
+    }
+
   private:
     /** One address draw (non-virtual core of next()/nextBatch()). */
     Addr draw();

@@ -93,6 +93,22 @@ class TraceSource : public AddressSource
         }
     }
 
+    /** Checkpoint: the replay cursor is the only mutable state. */
+    void
+    saveState(std::vector<std::uint64_t> &out) const override
+    {
+        out.push_back(cursor_);
+    }
+
+    std::size_t
+    restoreState(const std::vector<std::uint64_t> &in,
+                 std::size_t pos) override
+    {
+        cursor_ = static_cast<std::size_t>(in.at(pos)) %
+                  records_.size();
+        return pos + 1;
+    }
+
   private:
     const std::vector<Addr> &records_;
     std::size_t cursor_ = 0;
